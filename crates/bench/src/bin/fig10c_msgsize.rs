@@ -1,0 +1,91 @@
+//! Figure 10(c) — message size vs scheduled throughput (6 servers,
+//! synchronization every 8 messages): the data per phase must amortize the
+//! synchronization cost; the paper picks 512 KB.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsqp_net::{Fabric, FabricConfig, NetScheduler, NodeId, RdmaConfig, RdmaNetwork, Schedule};
+
+const NODES: u16 = 6;
+/// Bytes each node ships per target (message count = volume / size).
+const VOLUME_PER_TARGET: usize = 8 * 1024 * 1024;
+const BATCH: usize = 8;
+
+fn run(size: usize) -> f64 {
+    let per_target = (VOLUME_PER_TARGET / size).max(1);
+    let fabric = Arc::new(Fabric::new(NODES, FabricConfig::qdr()));
+    let net = RdmaNetwork::new(Arc::clone(&fabric), RdmaConfig::default());
+    let scheduler = NetScheduler::new(NODES as usize);
+    let schedule = Schedule::new(NODES);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for node in 0..NODES {
+            let ep = net.endpoint(NodeId(node));
+            ep.post_recvs(1 << 24);
+            let scheduler = Arc::clone(&scheduler);
+            scope.spawn(move || {
+                let me = NodeId(node);
+                let region = ep.register(vec![1u8; size]);
+                let total_in = per_target * (NODES as usize - 1);
+                let mut received = 0;
+                let mut sent_per_phase = vec![0usize; NODES as usize];
+                let mut done = false;
+                while !done {
+                    done = true;
+                    for phase in 1..NODES {
+                        let target = schedule.target(me, phase);
+                        let sent = &mut sent_per_phase[phase as usize];
+                        let n = BATCH.min(per_target - *sent);
+                        for _ in 0..n {
+                            ep.post_send_bytes(target, region.bytes().clone());
+                        }
+                        *sent += n;
+                        if *sent < per_target {
+                            done = false;
+                        }
+                        scheduler.sync();
+                    }
+                }
+                scheduler.leave();
+                while received < total_in {
+                    ep.wait_completion();
+                    received += 1;
+                }
+            });
+        }
+    });
+    (per_target * (NODES as usize - 1) * size) as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+fn main() {
+    hsqp_bench::banner(
+        "Figure 10(c)",
+        "message size vs throughput with sync every 8 messages (6 servers)",
+    );
+    let sizes = [
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        4 << 20,
+    ];
+    let mut rows = Vec::new();
+    for size in sizes {
+        let gbps = run(size);
+        rows.push(vec![
+            if size >= 1 << 20 {
+                format!("{} MB", size >> 20)
+            } else {
+                format!("{} KB", size >> 10)
+            },
+            format!("{gbps:.2}"),
+        ]);
+    }
+    hsqp_bench::print_table(&["message size", "GB/s per node"], &rows);
+    println!();
+    println!("paper: 512 KB messages or larger hide the synchronization cost");
+}

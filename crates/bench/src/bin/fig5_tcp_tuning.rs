@@ -1,0 +1,145 @@
+//! Figure 5 — tuning TCP for analytical workloads (one stream, 512 KB
+//! messages) against default RDMA, unidirectional and bidirectional.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsqp_net::{
+    Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
+};
+
+const SIZE: usize = 512 * 1024;
+const MESSAGES: usize = 200;
+
+fn tcp_throughput(cfg: TcpConfig, bidirectional: bool) -> f64 {
+    let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
+    let net = TcpNetwork::new(Arc::clone(&fabric), cfg);
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    let payload = vec![7u8; SIZE];
+    let start = Instant::now();
+    // One network thread per node (the paper's single-stream setup): the
+    // thread both sends its share and drains what arrived.
+    let pb = payload.clone();
+    let h = std::thread::spawn(move || {
+        let mut received = 0;
+        let mut sent = 0;
+        // Keep going until this side has both sent and received everything.
+        while received < MESSAGES || (bidirectional && sent < MESSAGES) {
+            if bidirectional && sent < MESSAGES {
+                b.send(NodeId(0), &pb);
+                sent += 1;
+            }
+            while let Some(_m) = b.recv_timeout(std::time::Duration::ZERO) {
+                received += 1;
+            }
+            if received < MESSAGES && (!bidirectional || sent >= MESSAGES) {
+                if b.recv_timeout(std::time::Duration::from_millis(1)).is_some() {
+                    received += 1;
+                }
+            }
+        }
+    });
+    let mut received = 0;
+    for _ in 0..MESSAGES {
+        a.send(NodeId(1), &payload);
+        if bidirectional {
+            while a.recv_timeout(std::time::Duration::ZERO).is_some() {
+                received += 1;
+            }
+        }
+    }
+    if bidirectional {
+        while received < MESSAGES {
+            if a.recv().1.len() == SIZE {
+                received += 1;
+            }
+        }
+    }
+    h.join().unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    // Per-direction throughput.
+    (MESSAGES * SIZE) as f64 / elapsed / 1e9
+}
+
+fn rdma_throughput(bidirectional: bool) -> f64 {
+    let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
+    let net = RdmaNetwork::new(Arc::clone(&fabric), RdmaConfig::default());
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    a.post_recvs(1 << 20);
+    b.post_recvs(1 << 20);
+    let region = a.register(vec![7u8; SIZE]);
+    let region_b = b.register(vec![9u8; SIZE]);
+    let start = Instant::now();
+    let h = std::thread::spawn(move || {
+        let mut received = 0;
+        let mut sent = 0;
+        while received < MESSAGES || (bidirectional && sent < MESSAGES) {
+            if bidirectional && sent < MESSAGES {
+                b.post_send_bytes(NodeId(0), region_b.bytes().clone());
+                sent += 1;
+            }
+            while b.poll_completion().is_some() {
+                received += 1;
+            }
+            std::thread::yield_now();
+        }
+    });
+    for _ in 0..MESSAGES {
+        a.post_send_bytes(NodeId(1), region.bytes().clone());
+    }
+    let mut received = 0;
+    while bidirectional && received < MESSAGES {
+        a.wait_completion();
+        received += 1;
+    }
+    h.join().unwrap();
+    (MESSAGES * SIZE) as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+fn main() {
+    hsqp_bench::banner(
+        "Figure 5",
+        "tuning TCP for analytical workloads (one stream, 512 KB messages)",
+    );
+    let configs: [(&str, Option<TcpConfig>); 5] = [
+        ("TCP w/o offload", Some(TcpConfig::without_offload())),
+        ("default TCP", Some(TcpConfig::default_tcp())),
+        ("TCP 64k MTU", Some(TcpConfig::connected_64k())),
+        ("TCP interrupts", Some(TcpConfig::tuned())),
+        ("default RDMA", None),
+    ];
+    let paper = [
+        (0.37, 0.69),
+        (0.93, 1.58),
+        (1.51, 2.27),
+        (2.17, 3.57),
+        (3.41, 3.59),
+    ];
+    let mut rows = Vec::new();
+    for ((name, cfg), (p_bi, p_uni)) in configs.into_iter().zip(paper) {
+        eprintln!("running {name} ...");
+        let (bi, uni) = match cfg {
+            Some(c) => (tcp_throughput(c, true), tcp_throughput(c, false)),
+            None => (rdma_throughput(true), rdma_throughput(false)),
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{bi:.2}"),
+            format!("{p_bi:.2}"),
+            format!("{uni:.2}"),
+            format!("{p_uni:.2}"),
+        ]);
+    }
+    hsqp_bench::print_table(
+        &[
+            "configuration",
+            "bidir GB/s",
+            "paper",
+            "unidir GB/s",
+            "paper",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,73 @@
+//! §2.1.1 / §2.1.2 — NUIOA: pinning the network thread to the NIC-local
+//! socket enables DDIO, cutting memory-bus traffic and raising throughput.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsqp_net::{Fabric, FabricConfig, NodeId, TcpConfig, TcpNetwork};
+
+const SIZE: usize = 512 * 1024;
+const MESSAGES: usize = 150;
+
+fn run(numa_local: bool) -> (f64, f64, f64) {
+    let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
+    let cfg = TcpConfig {
+        numa_local_nic: numa_local,
+        ..TcpConfig::tuned()
+    };
+    let net = TcpNetwork::new(Arc::clone(&fabric), cfg);
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    let payload = vec![3u8; SIZE];
+    let start = Instant::now();
+    let h = std::thread::spawn(move || {
+        for _ in 0..MESSAGES {
+            b.recv();
+        }
+    });
+    for _ in 0..MESSAGES {
+        a.send(NodeId(1), &payload);
+    }
+    h.join().unwrap();
+    let gbps = (MESSAGES * SIZE) as f64 / start.elapsed().as_secs_f64() / 1e9;
+    let volume = (MESSAGES * SIZE) as f64;
+    let reads = fabric.stats(NodeId(0)).membus_read_bytes() as f64 / volume;
+    let writes = fabric.stats(NodeId(1)).membus_write_bytes() as f64 / volume;
+    (gbps, reads, writes)
+}
+
+fn main() {
+    hsqp_bench::banner(
+        "§2.1.1/§2.1.2 NUIOA",
+        "network thread pinned NUIOA-local vs remote (TCP, 512 KB stream)",
+    );
+    let (local_gbps, local_r, local_w) = run(true);
+    let (remote_gbps, remote_r, remote_w) = run(false);
+    hsqp_bench::print_table(
+        &[
+            "network thread",
+            "GB/s",
+            "sender reads x",
+            "receiver writes x",
+        ],
+        &[
+            vec![
+                "NUIOA-local".into(),
+                format!("{local_gbps:.2}"),
+                format!("{local_r:.2}"),
+                format!("{local_w:.2}"),
+            ],
+            vec![
+                "NUIOA-remote".into(),
+                format!("{remote_gbps:.2}"),
+                format!("{remote_r:.2}"),
+                format!("{remote_w:.2}"),
+            ],
+        ],
+    );
+    println!();
+    println!(
+        "paper: local pinning improves throughput 6-15%; DDIO only active on \
+         the NUIOA-local socket (1.03x vs 2.11x sender reads)"
+    );
+}

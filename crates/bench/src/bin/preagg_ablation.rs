@@ -1,0 +1,40 @@
+//! Figure 6(c) ablation — pre-aggregation before the exchange vs shuffling
+//! raw tuples: Q1's eight aggregates over two tiny group keys shrink the
+//! shuffle from the full lineitem scan to a handful of partial rows.
+
+use hsqp_engine::cluster::{Cluster, ClusterConfig};
+use hsqp_engine::queries::{q1_no_preagg, tpch_query};
+use hsqp_tpch::TpchDb;
+
+const SF: f64 = 0.01;
+const NODES: u16 = 4;
+
+fn main() {
+    hsqp_bench::banner(
+        "Figure 6(c) ablation",
+        "pre-aggregation vs raw shuffle for TPC-H Q1",
+    );
+    let cluster = Cluster::start(ClusterConfig::paper(NODES)).expect("cluster");
+    cluster.load_tpch_db(TpchDb::generate(SF)).expect("load");
+
+    let with = cluster.run(&tpch_query(1).expect("q1")).expect("run");
+    let without = cluster.run(&q1_no_preagg()).expect("run");
+    hsqp_bench::print_table(
+        &["plan", "time ms", "bytes shuffled", "messages"],
+        &[
+            vec![
+                "pre-aggregation (paper)".into(),
+                hsqp_bench::ms(with.elapsed),
+                with.bytes_shuffled.to_string(),
+                with.messages_sent.to_string(),
+            ],
+            vec![
+                "raw shuffle".into(),
+                hsqp_bench::ms(without.elapsed),
+                without.bytes_shuffled.to_string(),
+                without.messages_sent.to_string(),
+            ],
+        ],
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,36 @@
+//! §4.3.3 — scaling to larger inputs: a 3× scale factor should cost ~3×
+//! (the paper measured 3.1× for HyPer from SF 100 to SF 300).
+
+use hsqp_bench::{run_suite, FAST_SUITE};
+use hsqp_engine::cluster::{Cluster, ClusterConfig};
+use hsqp_tpch::TpchDb;
+
+const NODES: u16 = 3;
+
+fn total(sf: f64) -> f64 {
+    let cluster = Cluster::start(ClusterConfig::paper(NODES)).expect("cluster");
+    cluster.load_tpch_db(TpchDb::generate(sf)).expect("load");
+    let r = run_suite(&cluster, &FAST_SUITE);
+    cluster.shutdown();
+    r.total().as_secs_f64()
+}
+
+fn main() {
+    hsqp_bench::banner("§4.3.3", "larger scale factor: SF x vs SF 3x");
+    let base = 0.005;
+    let t1 = total(base);
+    let t3 = total(base * 3.0);
+    hsqp_bench::print_table(
+        &["scale factor", "total ms", "vs base"],
+        &[
+            vec![format!("{base}"), format!("{:.0}", t1 * 1e3), "1.0x".into()],
+            vec![
+                format!("{}", base * 3.0),
+                format!("{:.0}", t3 * 1e3),
+                format!("{:.1}x", t3 / t1),
+            ],
+        ],
+    );
+    println!();
+    println!("paper: HyPer 3.1x for 3x the data (12 s vs 3.8 s)");
+}

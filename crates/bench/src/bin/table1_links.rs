@@ -1,0 +1,23 @@
+//! Table 1 — comparison of network data-link standards.
+
+use hsqp_net::LinkSpec;
+
+fn main() {
+    hsqp_bench::banner("Table 1", "network data link standards");
+    let rows: Vec<Vec<String>> = LinkSpec::TABLE1
+        .iter()
+        .map(|l| {
+            vec![
+                l.name().to_string(),
+                format!("{:.3}", l.gb_per_sec()),
+                format!("{:.1}", l.latency().as_secs_f64() * 1e6),
+                l.year().to_string(),
+                format!("{:.0}x", l.speedup_over(&LinkSpec::GBE)),
+            ]
+        })
+        .collect();
+    hsqp_bench::print_table(
+        &["link", "GB/s", "latency µs", "introduced", "vs GbE"],
+        &rows,
+    );
+}

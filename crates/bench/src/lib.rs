@@ -1,0 +1,163 @@
+//! # hsqp-bench — experiment harnesses
+//!
+//! Shared helpers for the figure/table binaries (`src/bin/`) and Criterion
+//! micro benches (`benches/`). Every binary regenerates one table or figure
+//! of the paper; `EXPERIMENTS.md` at the repository root records paper-vs-
+//! measured values.
+
+use std::time::Duration;
+
+use hsqp_engine::cluster::{Cluster, QueryResult};
+use hsqp_engine::queries::tpch_query;
+
+/// Result of running a query suite on one cluster configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Per-query wall-clock times, in query-number order.
+    pub per_query: Vec<(u32, Duration)>,
+    /// Bytes shuffled across the whole suite.
+    pub bytes_shuffled: u64,
+    /// Messages sent across the whole suite.
+    pub messages: u64,
+}
+
+impl SuiteResult {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.per_query.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Geometric mean of per-query seconds.
+    pub fn geometric_mean(&self) -> f64 {
+        let log_sum: f64 = self
+            .per_query
+            .iter()
+            .map(|(_, d)| d.as_secs_f64().max(1e-9).ln())
+            .sum();
+        (log_sum / self.per_query.len() as f64).exp()
+    }
+
+    /// Queries per hour, extrapolated from this suite.
+    pub fn queries_per_hour(&self) -> f64 {
+        self.per_query.len() as f64 * 3600.0 / self.total().as_secs_f64()
+    }
+}
+
+/// Run TPC-H queries `numbers` on `cluster` and collect timings.
+///
+/// # Panics
+/// Panics when a query fails — harnesses should fail loudly.
+pub fn run_suite(cluster: &Cluster, numbers: &[u32]) -> SuiteResult {
+    let before_bytes = cluster.fabric().total_bytes_sent();
+    let mut per_query = Vec::with_capacity(numbers.len());
+    let mut messages = 0;
+    for &n in numbers {
+        let q = tpch_query(n).expect("valid query number");
+        let r: QueryResult = cluster.run(&q).expect("query execution");
+        per_query.push((n, r.elapsed));
+        messages += r.messages_sent;
+    }
+    SuiteResult {
+        per_query,
+        bytes_shuffled: cluster.fabric().total_bytes_sent() - before_bytes,
+        messages,
+    }
+}
+
+/// A fast, shuffle-heavy query subset used where running all 22 would blow
+/// the harness budget (scans, repartition joins, broadcasts, aggregations).
+pub const FAST_SUITE: [u32; 8] = [1, 3, 4, 5, 6, 10, 12, 14];
+
+/// Format a duration as milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Print a fixed-width text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Print the harness banner.
+pub fn banner(what: &str, paper_ref: &str) {
+    println!("== {what} ==");
+    println!("   reproduces: {paper_ref}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_times() {
+        let s = SuiteResult {
+            per_query: vec![
+                (1, Duration::from_millis(100)),
+                (2, Duration::from_millis(100)),
+            ],
+            bytes_shuffled: 0,
+            messages: 0,
+        };
+        assert!((s.geometric_mean() - 0.1).abs() < 1e-9);
+        assert_eq!(s.total(), Duration::from_millis(200));
+        assert!((s.queries_per_hour() - 36_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+}
+
+/// Ideal-parallel-compute correction for constrained hosts.
+///
+/// The simulated cluster's nodes are threads; on a host with fewer cores
+/// than simulated parallel units, a fixed-size workload cannot show wall-
+/// clock speed-up because compute serializes. The harness therefore reports
+///
+/// `t_corrected(u) = t_single / u + max(0, t_measured(u) − t_single)`
+///
+/// i.e. the single-unit compute time divided ideally across `u` parallel
+/// units plus the *measured* distribution overhead (network waits, protocol
+/// CPU, switch contention, serialization) which the simulation does expose.
+/// On hosts with ≥ nodes × workers cores the raw wall times can be used
+/// directly; every harness prints both. See DESIGN.md, "Single-core hosts".
+pub fn corrected_time(t_measured: Duration, t_single: Duration, units: u64) -> Duration {
+    let overhead = t_measured.saturating_sub(t_single);
+    Duration::from_secs_f64(t_single.as_secs_f64() / units as f64) + overhead
+}
+
+/// Rebalance a link's bandwidth for laptop-scale runs.
+///
+/// The paper's servers scan with 20 cores (~10 GB/s of processing) against
+/// 4 GB/s links — compute:network ≈ 2.5:1 per byte. A single host core
+/// processes ~0.3 GB/s, so at the paper's link rates the network is ~32×
+/// too fast relative to compute and every transport looks the same. The
+/// engine-level harnesses therefore scale all link bandwidths down by
+/// [`LINK_RESCALE`] (keeping every ratio from Table 1 intact), which
+/// restores the paper's compute:network balance. Latencies are unchanged.
+pub fn rescaled_link(link: hsqp_net::LinkSpec) -> hsqp_net::LinkSpec {
+    hsqp_net::LinkSpec::custom(link.bytes_per_sec() * LINK_RESCALE, link.latency())
+}
+
+/// See [`rescaled_link`].
+pub const LINK_RESCALE: f64 = 1.0 / 32.0;

@@ -1,0 +1,51 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the public engine API.
+///
+/// Internal invariant violations (plan bugs, schema mismatches) panic
+/// instead — they indicate programming errors, not runtime conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced relation was not loaded into the cluster.
+    UnknownTable(String),
+    /// The requested TPC-H query number does not exist.
+    UnknownQuery(u32),
+    /// The cluster was already shut down.
+    ClusterDown,
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownQuery(q) => write!(f, "unknown TPC-H query: {q}"),
+            EngineError::ClusterDown => write!(f, "cluster already shut down"),
+            EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::UnknownTable("foo".into()).to_string(),
+            "unknown table: foo"
+        );
+        assert_eq!(
+            EngineError::UnknownQuery(23).to_string(),
+            "unknown TPC-H query: 23"
+        );
+        assert!(EngineError::ClusterDown.to_string().contains("shut down"));
+        assert!(EngineError::Config("x".into()).to_string().contains("x"));
+    }
+}

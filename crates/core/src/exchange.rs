@@ -1,0 +1,717 @@
+//! Decoupled exchange operators and the communication multiplexer (§3.2).
+//!
+//! The decoupled exchange operator only ever talks to its node-local
+//! multiplexer: workers partition and serialize tuples into pooled message
+//! buffers (Figure 7, steps 1–4); the multiplexer — one dedicated network
+//! thread per server — ships full messages according to the round-robin
+//! network schedule and routes incoming messages into per-NUMA-socket
+//! receive queues (step 5); workers deserialize NUMA-local messages first
+//! and steal from other sockets when idle (steps 5a/5b).
+//!
+//! The classic exchange operator model is supported as a baseline: `n·t`
+//! parallel units, hash space split `n·t` ways, static unit↔partition
+//! binding (no stealing), broadcast duplicated per *unit* rather than per
+//! server, and no network scheduling.
+//!
+//! Message layout on the wire (after Figure 7's message header): the first
+//! part of a message (RDMA key, NUMA node, retain count) never leaves the
+//! machine; only the second part is transmitted — exchange id, last-message
+//! flag, partition bucket, used byte count, then serialized tuples in the
+//! Figure 8 format.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Condvar, Mutex};
+
+use hsqp_net::{Fabric, NodeId, RdmaEndpoint, Schedule, TcpEndpoint};
+use hsqp_numa::{AllocPolicy, SocketId, Topology};
+
+/// Size of the wire header preceding serialized tuples.
+pub const HEADER_LEN: usize = 4 + 1 + 2 + 4;
+
+/// Header flag: the sender's final message for this exchange.
+pub const FLAG_LAST: u8 = 1;
+/// Header flag: a classic-mode broadcast duplicate — it pays wire and
+/// receive cost but its tuple data must not be consumed again.
+pub const FLAG_DUP: u8 = 2;
+
+/// Encode the transmitted message header.
+pub fn encode_header(exchange: u32, flags: u8, bucket: u16, used: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&exchange.to_le_bytes());
+    out.push(flags);
+    out.extend_from_slice(&bucket.to_le_bytes());
+    out.extend_from_slice(&used.to_le_bytes());
+}
+
+/// Overwrite the header at the front of an already-built message.
+pub fn patch_header(exchange: u32, flags: u8, bucket: u16, buf: &mut [u8]) {
+    let used = (buf.len() - HEADER_LEN) as u32;
+    buf[0..4].copy_from_slice(&exchange.to_le_bytes());
+    buf[4] = flags;
+    buf[5..7].copy_from_slice(&bucket.to_le_bytes());
+    buf[7..11].copy_from_slice(&used.to_le_bytes());
+}
+
+/// Decoded message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Logical exchange operator this message belongs to.
+    pub exchange: u32,
+    /// Whether this is the sender's final message for this exchange.
+    pub last: bool,
+    /// Whether this is a classic-mode broadcast duplicate.
+    pub dup: bool,
+    /// Partition bucket (classic mode routes on it; 0 in hybrid mode).
+    pub bucket: u16,
+    /// Bytes of tuple data following the header.
+    pub used: u32,
+}
+
+/// Decode a wire message header.
+///
+/// # Panics
+/// Panics if the buffer is shorter than [`HEADER_LEN`].
+pub fn decode_header(buf: &[u8]) -> Header {
+    assert!(buf.len() >= HEADER_LEN, "message shorter than header");
+    Header {
+        exchange: u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
+        last: buf[4] & FLAG_LAST != 0,
+        dup: buf[4] & FLAG_DUP != 0,
+        bucket: u16::from_le_bytes(buf[5..7].try_into().expect("2 bytes")),
+        used: u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message pool
+// ---------------------------------------------------------------------------
+
+/// NUMA-aware message pool with memory-region registration accounting.
+///
+/// RDMA buffers must be pinned and registered with the HCA — expensive, so
+/// the engine reuses buffers (§2.2.2, §3.2.2). The pool tracks how many
+/// registered buffers are idle per socket; taking one from the pool is
+/// free, taking one when the pool is empty pays the registration cost on
+/// the fabric's CPU accounting.
+pub struct MessagePool {
+    fabric: Arc<Fabric>,
+    node: NodeId,
+    capacity: usize,
+    idle: Vec<AtomicU64>,
+    registrations: AtomicU64,
+    reuses: AtomicU64,
+    alloc_seq: AtomicU64,
+    registration_cost: Duration,
+}
+
+impl MessagePool {
+    /// Pool for `sockets` sockets handing out buffers of `capacity` bytes.
+    pub fn new(fabric: Arc<Fabric>, node: NodeId, sockets: u16, capacity: usize) -> Self {
+        Self {
+            fabric,
+            node,
+            capacity,
+            idle: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
+            registrations: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            alloc_seq: AtomicU64::new(0),
+            registration_cost: Duration::from_micros(40),
+        }
+    }
+
+    /// Buffer capacity (message size).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Take a message buffer for a worker on `worker_socket` under `policy`.
+    /// Returns the buffer and the socket its memory lives on.
+    pub fn take(
+        &self,
+        policy: AllocPolicy,
+        worker_socket: SocketId,
+        topology: &Topology,
+    ) -> (Vec<u8>, SocketId) {
+        let seq = self.alloc_seq.fetch_add(1, Ordering::Relaxed);
+        let socket = topology.alloc_socket(policy, worker_socket, seq);
+        let shelf = &self.idle[socket.0 as usize];
+        let mut cur = shelf.load(Ordering::Relaxed);
+        let reused = loop {
+            if cur == 0 {
+                break false;
+            }
+            match shelf.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break true,
+                Err(c) => cur = c,
+            }
+        };
+        if reused {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.registrations.fetch_add(1, Ordering::Relaxed);
+            // Pin + register the fresh region with the HCA.
+            self.fabric.charge_send_cpu(self.node, self.registration_cost);
+        }
+        (Vec::with_capacity(self.capacity + HEADER_LEN), socket)
+    }
+
+    /// Return a buffer's registration to the pool after its message was
+    /// sent (reference count dropped to zero, Figure 7 step 4).
+    pub fn recycle(&self, socket: SocketId) {
+        self.idle[socket.0 as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of memory-region registrations paid so far.
+    pub fn registrations(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a pooled registration was reused.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receive hub
+// ---------------------------------------------------------------------------
+
+/// A received message awaiting deserialization.
+#[derive(Debug)]
+pub struct RecvMsg {
+    /// Tuple bytes (header stripped).
+    pub data: Bytes,
+    /// NUMA socket the receive buffer lives on.
+    pub mem_socket: SocketId,
+}
+
+struct ExchangeState {
+    /// One queue per NUMA socket (hybrid) or per parallel unit (classic).
+    queues: Vec<std::collections::VecDeque<RecvMsg>>,
+    lasts_received: u32,
+    expected_lasts: Option<u32>,
+}
+
+impl ExchangeState {
+    fn done_receiving(&self) -> bool {
+        self.expected_lasts
+            .is_some_and(|e| self.lasts_received >= e)
+    }
+}
+
+/// Per-node routing point between the multiplexer and the exchange
+/// operators: per-socket receive queues with cross-socket work stealing.
+pub struct RecvHub {
+    exchanges: Mutex<HashMap<u32, ExchangeState>>,
+    wakeup: Condvar,
+    queues: usize,
+}
+
+impl RecvHub {
+    /// Hub with `queues` receive queues (sockets in hybrid mode, units in
+    /// classic mode).
+    pub fn new(queues: usize) -> Arc<Self> {
+        assert!(queues > 0, "need at least one receive queue");
+        Arc::new(Self {
+            exchanges: Mutex::new(HashMap::new()),
+            wakeup: Condvar::new(),
+            queues,
+        })
+    }
+
+    /// Number of receive queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues
+    }
+
+    /// Announce how many last-markers exchange `id` will receive; consumers
+    /// block until that many have arrived and all data is drained.
+    pub fn expect_lasts(&self, id: u32, expected: u32) {
+        let mut map = self.exchanges.lock();
+        let st = map.entry(id).or_insert_with(|| ExchangeState {
+            queues: (0..self.queues).map(|_| Default::default()).collect(),
+            lasts_received: 0,
+            expected_lasts: None,
+        });
+        st.expected_lasts = Some(expected);
+        drop(map);
+        self.wakeup.notify_all();
+    }
+
+    /// Deliver a message (the multiplexer calls this; also used for
+    /// node-local partitions that never touch the network).
+    pub fn deliver(&self, id: u32, queue: usize, msg: Option<RecvMsg>, last: bool) {
+        let mut map = self.exchanges.lock();
+        let st = map.entry(id).or_insert_with(|| ExchangeState {
+            queues: (0..self.queues).map(|_| Default::default()).collect(),
+            lasts_received: 0,
+            expected_lasts: None,
+        });
+        if let Some(m) = msg {
+            st.queues[queue % self.queues].push_back(m);
+        }
+        if last {
+            st.lasts_received += 1;
+        }
+        drop(map);
+        self.wakeup.notify_all();
+    }
+
+    /// Pop the next message for exchange `id`, preferring `own` queue and
+    /// stealing from others when `steal` is set. Returns `None` once the
+    /// exchange is fully drained (all lasts received, queues empty).
+    pub fn pop(&self, id: u32, own: usize, steal: bool) -> Option<RecvMsg> {
+        let mut map = self.exchanges.lock();
+        loop {
+            let st = map
+                .get_mut(&id)
+                .expect("exchange must be registered before popping");
+            // 5a: NUMA-local receive queue first.
+            if let Some(m) = st.queues[own % self.queues].pop_front() {
+                return Some(m);
+            }
+            // 5b: steal work from other queues.
+            if steal {
+                for q in 0..self.queues {
+                    if q != own % self.queues {
+                        if let Some(m) = st.queues[q].pop_front() {
+                            return Some(m);
+                        }
+                    }
+                }
+            }
+            let drained = if steal {
+                st.queues.iter().all(|q| q.is_empty())
+            } else {
+                st.queues[own % self.queues].is_empty()
+            };
+            if st.done_receiving() && drained {
+                return None;
+            }
+            self.wakeup.wait(&mut map);
+        }
+    }
+
+    /// Remove a completed exchange's state.
+    pub fn finish(&self, id: u32) {
+        self.exchanges.lock().remove(&id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexer
+// ---------------------------------------------------------------------------
+
+/// Transport used by a node's multiplexer.
+pub enum Endpoint {
+    /// RDMA verbs endpoint (zero copy, pooled registrations).
+    Rdma(RdmaEndpoint),
+    /// TCP socket endpoint (copies + checksums + interrupts).
+    Tcp(TcpEndpoint),
+}
+
+impl Endpoint {
+    fn send(&self, dst: NodeId, payload: &Bytes) {
+        match self {
+            Endpoint::Rdma(ep) => ep.post_send_bytes(dst, payload.clone()),
+            Endpoint::Tcp(ep) => ep.send(dst, payload),
+        }
+    }
+
+    fn try_recv(&self) -> Option<(NodeId, Bytes)> {
+        match self {
+            Endpoint::Rdma(ep) => ep.poll_completion().map(|c| (c.src, c.payload)),
+            Endpoint::Tcp(ep) => ep
+                .recv_timeout(Duration::ZERO)
+                .map(|(src, data)| (src, Bytes::from(data))),
+        }
+    }
+}
+
+/// Commands from exchange operators to their multiplexer.
+pub enum MuxCmd {
+    /// Queue one message for `target`. `pool_socket` is returned to the
+    /// message pool once the send completed.
+    Send {
+        /// Destination node.
+        target: NodeId,
+        /// Full wire message (header + tuples).
+        payload: Bytes,
+        /// Socket whose pool registration to recycle after sending.
+        pool_socket: SocketId,
+    },
+    /// Queue one message for every other node, serialized once and retained
+    /// per target (the broadcast retain counter of §3.2).
+    Broadcast {
+        /// Full wire message.
+        payload: Bytes,
+        /// Pool registration to recycle.
+        pool_socket: SocketId,
+        /// Copies to send to each remote node (1 in hybrid mode; `t` in
+        /// classic mode, where every remote exchange unit gets its own).
+        copies_per_node: u16,
+    },
+    /// Shut the multiplexer down.
+    Shutdown,
+}
+
+/// Configuration of one node's multiplexer.
+pub struct MuxConfig {
+    /// This node.
+    pub node: NodeId,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Network scheduling on/off (§3.2.3).
+    pub scheduling: bool,
+    /// Messages sent to one target before re-synchronizing (the paper uses
+    /// 8 per phase).
+    pub batch_per_phase: usize,
+    /// Receive queues (sockets in hybrid mode, units in classic mode).
+    pub classic_units: Option<u16>,
+    /// Sockets for round-robin receive-buffer placement.
+    pub sockets: u16,
+    /// Receive-buffer allocation policy (Figure 9).
+    pub alloc_policy: AllocPolicy,
+}
+
+/// Spawn the multiplexer thread for one node.
+///
+/// Returns the command sender; the thread exits on [`MuxCmd::Shutdown`].
+pub fn spawn_multiplexer(
+    cfg: MuxConfig,
+    endpoint: Endpoint,
+    hub: Arc<RecvHub>,
+    pool: Arc<MessagePool>,
+    scheduler: Option<Arc<hsqp_net::NetScheduler>>,
+) -> (Sender<MuxCmd>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = unbounded();
+    let handle = std::thread::Builder::new()
+        .name(format!("mux-{}", cfg.node.0))
+        .spawn(move || mux_loop(&cfg, &endpoint, &hub, &pool, scheduler.as_deref(), &rx))
+        .expect("spawn multiplexer");
+    (tx, handle)
+}
+
+fn mux_loop(
+    cfg: &MuxConfig,
+    endpoint: &Endpoint,
+    hub: &RecvHub,
+    pool: &MessagePool,
+    scheduler: Option<&hsqp_net::NetScheduler>,
+    rx: &Receiver<MuxCmd>,
+) {
+    let n = cfg.nodes;
+    let mut queues: Vec<std::collections::VecDeque<(Bytes, SocketId)>> =
+        (0..n).map(|_| Default::default()).collect();
+    let schedule = Schedule::new(n.max(1));
+    let mut phase: u16 = 1;
+    let mut recv_rr: u64 = 0;
+    let mut shutdown = false;
+
+    loop {
+        // Route incoming completions to the receive queues, alternating
+        // NUMA sockets ("receives messages for every NUMA region in turn").
+        while let Some((_src, payload)) = endpoint.try_recv() {
+            route_incoming(cfg, hub, payload, &mut recv_rr);
+        }
+
+        // Accept new work from the exchange operators.
+        loop {
+            match rx.try_recv() {
+                Ok(MuxCmd::Send {
+                    target,
+                    payload,
+                    pool_socket,
+                }) => queues[target.idx()].push_back((payload, pool_socket)),
+                Ok(MuxCmd::Broadcast {
+                    payload,
+                    pool_socket,
+                    copies_per_node,
+                }) => {
+                    for t in 0..n {
+                        if t == cfg.node.0 {
+                            continue;
+                        }
+                        for _ in 0..copies_per_node {
+                            // Retain: cheap Bytes clone, no data copy.
+                            queues[t as usize].push_back((payload.clone(), pool_socket));
+                        }
+                    }
+                }
+                Ok(MuxCmd::Shutdown) => shutdown = true,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        if shutdown && queues.iter().all(|q| q.is_empty()) {
+            if let Some(s) = scheduler {
+                s.leave();
+            }
+            // Drain any final in-flight messages for receivers still alive.
+            while let Some((_src, payload)) = endpoint.try_recv() {
+                route_incoming(cfg, hub, payload, &mut recv_rr);
+            }
+            return;
+        }
+
+        if n <= 1 {
+            std::thread::sleep(Duration::from_micros(20));
+            continue;
+        }
+
+        if cfg.scheduling {
+            // Round-robin phases in lockstep with all other multiplexers:
+            // send a batch to this phase's target, synchronize, advance.
+            let target = schedule.target(cfg.node, phase);
+            let mut sent = 0;
+            while sent < cfg.batch_per_phase {
+                match queues[target.idx()].pop_front() {
+                    Some((payload, pool_socket)) => {
+                        endpoint.send(target, &payload);
+                        pool.recycle(pool_socket);
+                        sent += 1;
+                    }
+                    None => break,
+                }
+            }
+            if let Some(s) = scheduler {
+                s.sync();
+            }
+            phase = phase % schedule.phases() + 1;
+        } else {
+            // Uncoordinated: ship whatever is queued, all targets at once.
+            let mut any = false;
+            for t in 0..n {
+                if let Some((payload, pool_socket)) = queues[t as usize].pop_front() {
+                    endpoint.send(NodeId(t), &payload);
+                    pool.recycle(pool_socket);
+                    any = true;
+                }
+            }
+            if !any {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+}
+
+fn route_incoming(cfg: &MuxConfig, hub: &RecvHub, payload: Bytes, recv_rr: &mut u64) {
+    let h = decode_header(&payload);
+    let data = payload.slice(HEADER_LEN..HEADER_LEN + h.used as usize);
+    let queue = match cfg.classic_units {
+        // Classic: static unit binding — the bucket picks the queue.
+        Some(units) => (h.bucket % units) as usize,
+        // Hybrid: NUMA sockets in turn.
+        None => {
+            let q = (*recv_rr % u64::from(cfg.sockets)) as usize;
+            *recv_rr += 1;
+            q
+        }
+    };
+    // Receive-buffer placement policy (Figure 9).
+    let mem_socket = match cfg.alloc_policy {
+        AllocPolicy::NumaAware => SocketId((queue as u16) % cfg.sockets),
+        AllocPolicy::Interleaved => {
+            let s = SocketId((*recv_rr % u64::from(cfg.sockets)) as u16);
+            *recv_rr += 1;
+            s
+        }
+        AllocPolicy::SingleSocket => SocketId(0),
+    };
+    let has_data = h.used > 0 && !h.dup;
+    hub.deliver(
+        h.exchange,
+        queue,
+        has_data.then_some(RecvMsg { data, mem_socket }),
+        h.last,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsqp_net::{FabricConfig, RdmaConfig, RdmaNetwork};
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = Vec::new();
+        encode_header(77, FLAG_LAST, 5, 1234, &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let h = decode_header(&buf);
+        assert_eq!(
+            h,
+            Header {
+                exchange: 77,
+                last: true,
+                dup: false,
+                bucket: 5,
+                used: 1234
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than header")]
+    fn short_header_panics() {
+        decode_header(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_accounts_registrations_and_reuses() {
+        let fabric = Arc::new(Fabric::new(1, FabricConfig::qdr()));
+        let pool = MessagePool::new(fabric, NodeId(0), 2, 1024);
+        let topo = Topology::uniform(2);
+        let (_, s) = pool.take(AllocPolicy::NumaAware, SocketId(0), &topo);
+        assert_eq!(pool.registrations(), 1);
+        assert_eq!(pool.reuses(), 0);
+        pool.recycle(s);
+        let (_, _) = pool.take(AllocPolicy::NumaAware, SocketId(0), &topo);
+        assert_eq!(pool.registrations(), 1);
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn hub_delivers_and_drains() {
+        let hub = RecvHub::new(2);
+        hub.expect_lasts(1, 1);
+        hub.deliver(
+            1,
+            0,
+            Some(RecvMsg {
+                data: Bytes::from_static(b"abc"),
+                mem_socket: SocketId(0),
+            }),
+            false,
+        );
+        hub.deliver(1, 0, None, true);
+        let m = hub.pop(1, 0, true).unwrap();
+        assert_eq!(&m.data[..], b"abc");
+        assert!(hub.pop(1, 0, true).is_none());
+        hub.finish(1);
+    }
+
+    #[test]
+    fn hub_steals_across_queues() {
+        let hub = RecvHub::new(2);
+        hub.expect_lasts(9, 1);
+        hub.deliver(
+            9,
+            1, // other queue
+            Some(RecvMsg {
+                data: Bytes::from_static(b"x"),
+                mem_socket: SocketId(1),
+            }),
+            true,
+        );
+        // Worker on queue 0 with stealing finds it.
+        assert!(hub.pop(9, 0, true).is_some());
+        assert!(hub.pop(9, 0, true).is_none());
+    }
+
+    #[test]
+    fn hub_without_stealing_ignores_other_queues() {
+        let hub = RecvHub::new(2);
+        hub.expect_lasts(3, 1);
+        hub.deliver(
+            3,
+            1,
+            Some(RecvMsg {
+                data: Bytes::from_static(b"y"),
+                mem_socket: SocketId(1),
+            }),
+            true,
+        );
+        // Queue-0 consumer without stealing drains (sees none).
+        assert!(hub.pop(3, 0, false).is_none());
+        // Queue-1 consumer picks it up.
+        assert!(hub.pop(3, 1, false).is_some());
+    }
+
+    #[test]
+    fn hub_pop_blocks_until_last_arrives() {
+        let hub = RecvHub::new(1);
+        hub.expect_lasts(5, 1);
+        let h2 = Arc::clone(&hub);
+        let h = std::thread::spawn(move || h2.pop(5, 0, true));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "pop returned before last marker");
+        hub.deliver(5, 0, None, true);
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn multiplexer_ships_messages_end_to_end() {
+        let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
+        let net = RdmaNetwork::new(Arc::clone(&fabric), RdmaConfig::default());
+        let mut handles = Vec::new();
+        let mut senders = Vec::new();
+        let hubs: Vec<_> = (0..2).map(|_| RecvHub::new(2)).collect();
+        let sched = hsqp_net::NetScheduler::new(2);
+        for node in 0..2u16 {
+            let ep = net.endpoint(NodeId(node));
+            ep.post_recvs(1 << 20);
+            let pool = Arc::new(MessagePool::new(
+                Arc::clone(&fabric),
+                NodeId(node),
+                2,
+                4096,
+            ));
+            let cfg = MuxConfig {
+                node: NodeId(node),
+                nodes: 2,
+                scheduling: true,
+                batch_per_phase: 8,
+                classic_units: None,
+                sockets: 2,
+                alloc_policy: AllocPolicy::NumaAware,
+            };
+            let (tx, h) = spawn_multiplexer(
+                cfg,
+                Endpoint::Rdma(ep),
+                Arc::clone(&hubs[node as usize]),
+                pool,
+                Some(Arc::clone(&sched)),
+            );
+            senders.push(tx);
+            handles.push(h);
+        }
+
+        // Node 0 sends one data message + last marker to node 1.
+        let mut msg = Vec::new();
+        encode_header(42, 0, 0, 5, &mut msg);
+        msg.extend_from_slice(b"hello");
+        senders[0]
+            .send(MuxCmd::Send {
+                target: NodeId(1),
+                payload: Bytes::from(msg),
+                pool_socket: SocketId(0),
+            })
+            .unwrap();
+        let mut lastmsg = Vec::new();
+        encode_header(42, FLAG_LAST, 0, 0, &mut lastmsg);
+        senders[0]
+            .send(MuxCmd::Send {
+                target: NodeId(1),
+                payload: Bytes::from(lastmsg),
+                pool_socket: SocketId(0),
+            })
+            .unwrap();
+
+        hubs[1].expect_lasts(42, 1);
+        let got = hubs[1].pop(42, 0, true).unwrap();
+        assert_eq!(&got.data[..], b"hello");
+        assert!(hubs[1].pop(42, 0, true).is_none());
+
+        for tx in &senders {
+            tx.send(MuxCmd::Shutdown).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! SPMD plan execution on one node.
+//!
+//! Every node of the cluster executes the same plan ([`NodeExec::execute`]);
+//! [`Plan::Exchange`] nodes are where tuples cross server boundaries. The
+//! executor materializes operator results per pipeline stage and uses the
+//! node's [`MorselDriver`] for intra-node parallelism, so work stealing
+//! applies to scans, probes, aggregation, partitioning, and deserialization
+//! alike.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+
+use hsqp_net::{Fabric, NodeId};
+use hsqp_numa::{AllocPolicy, SocketId, Topology};
+use hsqp_storage::placement::{crc32, crc32_i64};
+use hsqp_storage::{Column, Schema, Table, Value};
+use hsqp_tpch::TpchTable;
+
+use crate::exchange::{
+    encode_header, patch_header, MessagePool, MuxCmd, RecvHub, RecvMsg, FLAG_DUP, FLAG_LAST,
+    HEADER_LEN,
+};
+use crate::expr::{eval, Expr};
+use crate::local::MorselDriver;
+use crate::ops::{aggregate, probe_join, sort_table, JoinTable};
+use crate::plan::{ExchangeKind, MapExpr, Plan};
+use crate::wire::{RowDeserializer, RowSerializer};
+
+/// Shared, long-lived state of one simulated server node.
+pub struct NodeCtx {
+    /// This node's id.
+    pub node: NodeId,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Worker pool configuration.
+    pub driver: MorselDriver,
+    /// NUMA topology of this server.
+    pub topology: Arc<Topology>,
+    /// Message-buffer allocation policy (Figure 9).
+    pub alloc_policy: AllocPolicy,
+    /// `Some(t)` switches the node into classic-exchange mode with `t`
+    /// parallel units.
+    pub classic_units: Option<u16>,
+    /// Tuple bytes per network message (the paper uses 512 KB).
+    pub message_capacity: usize,
+    /// NUMA-aware registered-buffer pool.
+    pub pool: Arc<MessagePool>,
+    /// Receive routing point shared with the multiplexer.
+    pub hub: Arc<RecvHub>,
+    /// Command channel to the multiplexer thread.
+    pub to_mux: Sender<MuxCmd>,
+    /// Loaded base relations (this node's placement share).
+    pub tables: RwLock<HashMap<TpchTable, Arc<Table>>>,
+    /// Rows deserialized per worker across all exchanges (skew diagnosis:
+    /// with work stealing the loads balance; with static classic-exchange
+    /// ownership a skewed partition overloads one unit).
+    pub consume_loads: parking_lot::Mutex<Vec<u64>>,
+    /// The network fabric (statistics).
+    pub fabric: Arc<Fabric>,
+}
+
+impl NodeCtx {
+    fn local_table(&self, t: TpchTable) -> Arc<Table> {
+        self.tables
+            .read()
+            .get(&t)
+            .unwrap_or_else(|| panic!("table {:?} not loaded on node {}", t.name(), self.node.0))
+            .clone()
+    }
+
+    fn is_classic(&self) -> bool {
+        self.classic_units.is_some()
+    }
+}
+
+/// Executes plans on one node.
+pub struct NodeExec<'a> {
+    ctx: &'a NodeCtx,
+    params: &'a [Value],
+    next_exchange: AtomicU32,
+}
+
+impl<'a> NodeExec<'a> {
+    /// Executor with parameters bound and exchange ids starting at
+    /// `exchange_base` (must be identical on all nodes for a given run).
+    pub fn new(ctx: &'a NodeCtx, params: &'a [Value], exchange_base: u32) -> Self {
+        Self {
+            ctx,
+            params,
+            next_exchange: AtomicU32::new(exchange_base),
+        }
+    }
+
+    /// Execute `plan`, returning this node's share of the result.
+    pub fn execute(&self, plan: &Plan) -> Table {
+        match plan {
+            Plan::Scan {
+                table,
+                filter,
+                project,
+            } => {
+                let t = self.ctx.local_table(*table);
+                let filtered = match filter {
+                    Some(pred) => self.parallel_filter(&t, pred),
+                    None => (*t).clone(),
+                };
+                match project {
+                    Some(names) => {
+                        let idx: Vec<usize> =
+                            names.iter().map(|n| filtered.schema().index_of(n)).collect();
+                        filtered.project(&idx)
+                    }
+                    None => filtered,
+                }
+            }
+            Plan::Filter { input, predicate } => {
+                let t = self.execute(input);
+                self.parallel_filter(&t, predicate)
+            }
+            Plan::Map { input, outputs } => {
+                let t = self.execute(input);
+                self.parallel_map(&t, outputs)
+            }
+            Plan::HashJoin {
+                probe,
+                build,
+                probe_keys,
+                build_keys,
+                kind,
+            } => {
+                let build_t = self.execute(build);
+                let build_idx: Vec<usize> = build_keys
+                    .iter()
+                    .map(|k| build_t.schema().index_of(k))
+                    .collect();
+                let jt = JoinTable::build(build_t, &build_idx);
+                let probe_t = self.execute(probe);
+                let probe_idx: Vec<usize> = probe_keys
+                    .iter()
+                    .map(|k| probe_t.schema().index_of(k))
+                    .collect();
+                probe_join(&probe_t, &jt, &probe_idx, *kind, &self.ctx.driver)
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                phase,
+            } => {
+                let t = self.execute(input);
+                let group_idx: Vec<usize> =
+                    group_by.iter().map(|g| t.schema().index_of(g)).collect();
+                aggregate(&t, &group_idx, aggs, *phase, &self.ctx.driver, self.params)
+            }
+            Plan::Sort { input, keys, limit } => {
+                let t = self.execute(input);
+                sort_table(&t, keys, *limit)
+            }
+            Plan::Exchange { input, kind } => {
+                let t = self.execute(input);
+                let id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
+                self.run_exchange(id, kind, &t)
+            }
+        }
+    }
+
+    // -- local pipelines ----------------------------------------------------
+
+    fn parallel_filter(&self, t: &Table, pred: &Expr) -> Table {
+        let parts = self.ctx.driver.run(
+            t.rows(),
+            |_| Vec::<usize>::new(),
+            |keep, _, m| {
+                let mask = eval(pred, t, m.range(), self.params).into_mask();
+                for (i, k) in mask.into_iter().enumerate() {
+                    if k {
+                        keep.push(m.start + i);
+                    }
+                }
+            },
+        );
+        let mut indices: Vec<usize> = parts.into_iter().flatten().collect();
+        indices.sort_unstable();
+        t.gather(&indices)
+    }
+
+    fn parallel_map(&self, t: &Table, outputs: &[MapExpr]) -> Table {
+        let parts = self.ctx.driver.run(
+            t.rows(),
+            |_| Vec::<(usize, Vec<Column>)>::new(),
+            |acc, _, m| {
+                let cols: Vec<Column> = outputs
+                    .iter()
+                    .map(|o| eval(&o.expr, t, m.range(), self.params).into_column().0)
+                    .collect();
+                acc.push((m.start, cols));
+            },
+        );
+        let mut pieces: Vec<(usize, Vec<Column>)> = parts.into_iter().flatten().collect();
+        pieces.sort_by_key(|(start, _)| *start);
+
+        let schema = map_schema(t, outputs, self.params);
+        let mut out = Table::empty(schema.clone());
+        for (_, cols) in pieces {
+            out.append(&Table::new(schema.clone(), cols));
+        }
+        out
+    }
+
+    // -- exchange -----------------------------------------------------------
+
+    fn run_exchange(&self, id: u32, kind: &ExchangeKind, input: &Table) -> Table {
+        let ctx = self.ctx;
+        let n = ctx.nodes;
+        let me = ctx.node;
+        let schema = input.schema().clone();
+
+        let expected_lasts = match kind {
+            ExchangeKind::Gather if me.0 != 0 => 0,
+            _ if n <= 1 => 0,
+            _ => u32::from(n - 1),
+        };
+        ctx.hub.expect_lasts(id, expected_lasts);
+
+        match kind {
+            ExchangeKind::HashPartition(keys) => {
+                let key_idx: Vec<usize> =
+                    keys.iter().map(|k| schema.index_of(k)).collect();
+                self.partition_and_send(id, input, &key_idx);
+            }
+            ExchangeKind::Broadcast => self.broadcast_send(id, input),
+            ExchangeKind::Gather => self.gather_send(id, input),
+        }
+        self.send_lasts(id, kind);
+
+        // Gather keeps a local pass-through of node 0's own rows.
+        let local_part = match kind {
+            ExchangeKind::Gather if me.0 == 0 => Some(input.clone()),
+            ExchangeKind::Gather => {
+                // Non-coordinators produce nothing further.
+                ctx.hub.finish(id);
+                return Table::empty(schema);
+            }
+            _ => None,
+        };
+
+        let mut out = self.consume(id, &schema);
+        if let Some(local) = local_part {
+            out.append(&local);
+        }
+        ctx.hub.finish(id);
+        out
+    }
+
+    /// Figure 7 steps 1–4: consume, partition by CRC32, serialize into
+    /// pooled messages, pass full messages to the multiplexer.
+    fn partition_and_send(&self, id: u32, input: &Table, key_idx: &[usize]) {
+        let ctx = self.ctx;
+        let units = ctx.classic_units.unwrap_or(1);
+        let buckets_total = ctx.nodes as usize * units as usize;
+        let ser = RowSerializer::new(input.schema());
+        let key_cols: Vec<&Column> = key_idx.iter().map(|&i| input.column(i)).collect();
+
+        let leftovers = ctx.driver.run(
+            input.rows(),
+            |_| PartitionState::new(buckets_total),
+            |st, w, m| {
+                for row in m.range() {
+                    let bucket = row_bucket(&key_cols, row, buckets_total);
+                    let buf = st.buffer(bucket, ctx, w.socket);
+                    ser.serialize_row(input, row, buf);
+                    if st.bufs[bucket].as_ref().expect("just filled").0.len()
+                        >= ctx.message_capacity
+                    {
+                        let (buf, socket) = st.bufs[bucket].take().expect("present");
+                        self.flush_message(id, bucket, buf, socket, w.socket, units);
+                    }
+                }
+            },
+        );
+        // Flush partially-filled messages ("only the used part is sent").
+        for st in leftovers {
+            for (bucket, slot) in st.bufs.into_iter().enumerate() {
+                if let Some((buf, socket)) = slot {
+                    if buf.len() > HEADER_LEN {
+                        self.flush_message(
+                            id,
+                            bucket,
+                            buf,
+                            socket,
+                            ctx.driver.worker_socket(0),
+                            units,
+                        );
+                    } else {
+                        ctx.pool.recycle(socket);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_message(
+        &self,
+        id: u32,
+        bucket: usize,
+        mut buf: Vec<u8>,
+        mem_socket: SocketId,
+        worker_socket: SocketId,
+        units: u16,
+    ) {
+        let ctx = self.ctx;
+        let target = NodeId((bucket / units as usize) as u16);
+        let local_bucket = (bucket % units as usize) as u16;
+        patch_header(id, 0, local_bucket, &mut buf);
+        // Writing a remote buffer costs QPI time (Figure 9's effect).
+        ctx.topology
+            .charge_access(worker_socket, mem_socket, buf.len());
+        if target == ctx.node {
+            let queue = if ctx.is_classic() {
+                local_bucket as usize
+            } else {
+                mem_socket.0 as usize
+            };
+            let data = Bytes::from(buf).slice(HEADER_LEN..);
+            ctx.hub.deliver(
+                id,
+                queue,
+                Some(RecvMsg {
+                    data,
+                    mem_socket,
+                }),
+                false,
+            );
+            ctx.pool.recycle(mem_socket);
+        } else {
+            ctx.to_mux
+                .send(MuxCmd::Send {
+                    target,
+                    payload: Bytes::from(buf),
+                    pool_socket: mem_socket,
+                })
+                .expect("multiplexer alive");
+        }
+    }
+
+    /// Broadcast: serialize once; remote copies share the buffer via the
+    /// retain counter (Bytes refcount). Classic mode additionally ships one
+    /// duplicate per remote *unit*, paying the (n·t−1)-copy network cost the
+    /// paper attributes to classic exchange operators.
+    fn broadcast_send(&self, id: u32, input: &Table) {
+        let ctx = self.ctx;
+        let ser = RowSerializer::new(input.schema());
+        let units = ctx.classic_units.unwrap_or(1);
+        let worker_socket = ctx.driver.worker_socket(0);
+
+        let flush = |mut buf: Vec<u8>, socket: SocketId| {
+            patch_header(id, 0, 0, &mut buf);
+            ctx.topology.charge_access(worker_socket, socket, buf.len());
+            // Local retain.
+            let bytes = Bytes::from(buf);
+            ctx.hub.deliver(
+                id,
+                if ctx.is_classic() { 0 } else { socket.0 as usize },
+                Some(RecvMsg {
+                    data: bytes.slice(HEADER_LEN..),
+                    mem_socket: socket,
+                }),
+                false,
+            );
+            if ctx.nodes > 1 {
+                ctx.to_mux
+                    .send(MuxCmd::Broadcast {
+                        payload: bytes.clone(),
+                        pool_socket: socket,
+                        copies_per_node: 1,
+                    })
+                    .expect("multiplexer alive");
+                // Classic: each further remote unit receives its own copy.
+                for u in 1..units {
+                    let mut dup = bytes.to_vec();
+                    patch_header(id, FLAG_DUP, u, &mut dup);
+                    ctx.to_mux
+                        .send(MuxCmd::Broadcast {
+                            payload: Bytes::from(dup),
+                            pool_socket: socket,
+                            copies_per_node: 1,
+                        })
+                        .expect("multiplexer alive");
+                }
+            }
+            ctx.pool.recycle(socket);
+        };
+
+        let (mut buf, mut socket) =
+            ctx.pool
+                .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+        buf.resize(HEADER_LEN, 0);
+        for row in 0..input.rows() {
+            ser.serialize_row(input, row, &mut buf);
+            if buf.len() >= ctx.message_capacity {
+                flush(buf, socket);
+                let fresh = ctx
+                    .pool
+                    .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+                buf = fresh.0;
+                socket = fresh.1;
+                buf.resize(HEADER_LEN, 0);
+            }
+        }
+        if buf.len() > HEADER_LEN {
+            flush(buf, socket);
+        } else {
+            ctx.pool.recycle(socket);
+        }
+    }
+
+    /// Gather: ship everything to node 0.
+    fn gather_send(&self, id: u32, input: &Table) {
+        let ctx = self.ctx;
+        if ctx.node.0 == 0 || ctx.nodes <= 1 {
+            return; // coordinator keeps its rows as a local pass-through
+        }
+        let ser = RowSerializer::new(input.schema());
+        let worker_socket = ctx.driver.worker_socket(0);
+        let (mut buf, mut socket) =
+            ctx.pool
+                .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+        buf.resize(HEADER_LEN, 0);
+        for row in 0..input.rows() {
+            ser.serialize_row(input, row, &mut buf);
+            if buf.len() >= ctx.message_capacity {
+                let mut full = buf;
+                patch_header(id, 0, 0, &mut full);
+                ctx.to_mux
+                    .send(MuxCmd::Send {
+                        target: NodeId(0),
+                        payload: Bytes::from(full),
+                        pool_socket: socket,
+                    })
+                    .expect("multiplexer alive");
+                let fresh = ctx
+                    .pool
+                    .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+                buf = fresh.0;
+                socket = fresh.1;
+                buf.resize(HEADER_LEN, 0);
+            }
+        }
+        if buf.len() > HEADER_LEN {
+            let mut full = buf;
+            patch_header(id, 0, 0, &mut full);
+            ctx.to_mux
+                .send(MuxCmd::Send {
+                    target: NodeId(0),
+                    payload: Bytes::from(full),
+                    pool_socket: socket,
+                })
+                .expect("multiplexer alive");
+        } else {
+            ctx.pool.recycle(socket);
+        }
+    }
+
+    fn send_lasts(&self, id: u32, kind: &ExchangeKind) {
+        let ctx = self.ctx;
+        if ctx.nodes <= 1 {
+            return;
+        }
+        let targets: Vec<NodeId> = match kind {
+            ExchangeKind::Gather => {
+                if ctx.node.0 == 0 {
+                    return;
+                }
+                vec![NodeId(0)]
+            }
+            _ => (0..ctx.nodes)
+                .filter(|&t| t != ctx.node.0)
+                .map(NodeId)
+                .collect(),
+        };
+        for t in targets {
+            let mut msg = Vec::with_capacity(HEADER_LEN);
+            encode_header(id, FLAG_LAST, 0, 0, &mut msg);
+            ctx.to_mux
+                .send(MuxCmd::Send {
+                    target: t,
+                    payload: Bytes::from(msg),
+                    pool_socket: SocketId(0),
+                })
+                .expect("multiplexer alive");
+        }
+    }
+
+    /// Figure 7 steps 5–7: workers drain NUMA-local receive queues (5a),
+    /// steal across sockets when idle (5b), deserialize (6), and hand the
+    /// tuples to the next pipeline (7) — here: collect into a table.
+    fn consume(&self, id: u32, schema: &Schema) -> Table {
+        let ctx = self.ctx;
+        let de = RowDeserializer::new(schema);
+        let stealing = !ctx.is_classic();
+        let workers = ctx.driver.workers();
+
+        let pieces: Vec<Table> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers as usize);
+            for w in 0..workers {
+                let de = &de;
+                let hub = &ctx.hub;
+                let topo = &ctx.topology;
+                let driver = &ctx.driver;
+                handles.push(scope.spawn(move || {
+                    let socket = driver.worker_socket(w);
+                    let own_queue = if stealing {
+                        socket.0 as usize
+                    } else {
+                        w as usize
+                    };
+                    let mut out = Table::empty(de_schema(de));
+                    while let Some(msg) = hub.pop(id, own_queue, stealing) {
+                        // Reading a remote message buffer crosses QPI.
+                        topo.charge_access(socket, msg.mem_socket, msg.data.len());
+                        let t = de.deserialize(&msg.data);
+                        out.append(&t);
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("consumer worker panicked"))
+                .collect()
+        });
+
+        {
+            let mut loads = ctx.consume_loads.lock();
+            loads.resize(workers as usize, 0);
+            for (w, p) in pieces.iter().enumerate() {
+                loads[w] += p.rows() as u64;
+            }
+        }
+
+        let mut out = Table::empty(schema.clone());
+        for p in pieces {
+            out.append(&p);
+        }
+        out
+    }
+}
+
+fn de_schema(de: &RowDeserializer) -> Schema {
+    de.deserialize(&[]).schema().clone()
+}
+
+/// Compute the output schema of a Map by evaluating over zero rows.
+fn map_schema(t: &Table, outputs: &[MapExpr], params: &[Value]) -> Schema {
+    use hsqp_storage::Field;
+    let fields: Vec<Field> = outputs
+        .iter()
+        .map(|o| {
+            let (_, inferred) = eval(&o.expr, t, 0..0, params).into_column();
+            let dtype = o.dtype.unwrap_or(inferred);
+            Field::nullable(o.name.clone(), dtype)
+        })
+        .collect();
+    Schema::new(fields)
+}
+
+/// Partition bucket of a row: CRC32 over the key attributes (§3.2).
+pub fn row_bucket(key_cols: &[&Column], row: usize, buckets: usize) -> usize {
+    let h = if key_cols.len() == 1 {
+        match key_cols[0] {
+            Column::I64(v, _) => crc32_i64(v[row]),
+            Column::F64(v, _) => crc32(&v[row].to_le_bytes()),
+            Column::Str(v, _) => crc32(v.get(row).as_bytes()),
+        }
+    } else {
+        let mut scratch = Vec::with_capacity(key_cols.len() * 8);
+        for c in key_cols {
+            match c {
+                Column::I64(v, _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
+                Column::F64(v, _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Str(v, _) => scratch.extend_from_slice(v.get(row).as_bytes()),
+            }
+        }
+        crc32(&scratch)
+    };
+    h as usize % buckets
+}
+
+/// Per-worker partition/serialize state (one pending message per bucket).
+struct PartitionState {
+    bufs: Vec<Option<(Vec<u8>, SocketId)>>,
+}
+
+impl PartitionState {
+    fn new(buckets: usize) -> Self {
+        Self {
+            bufs: (0..buckets).map(|_| None).collect(),
+        }
+    }
+
+    fn buffer(&mut self, bucket: usize, ctx: &NodeCtx, worker_socket: SocketId) -> &mut Vec<u8> {
+        if self.bufs[bucket].is_none() {
+            let (mut buf, socket) = ctx
+                .pool
+                .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+            buf.resize(HEADER_LEN, 0);
+            self.bufs[bucket] = Some((buf, socket));
+        }
+        &mut self.bufs[bucket].as_mut().expect("just set").0
+    }
+}

@@ -1,0 +1,813 @@
+//! Vectorized expression evaluation over table morsels.
+//!
+//! Expressions are evaluated column-at-a-time over a row range (a morsel),
+//! mirroring how HyPer's generated code keeps tuples in registers within a
+//! pipeline. Decimal columns (fixed-point, scale 100) are promoted to `f64`
+//! on evaluation; dates stay as day numbers (`i64`).
+
+use std::ops::Range;
+
+use hsqp_storage::{Bitmap, Column, DataType, StringColumn, Table, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(String),
+    /// Integer literal (also dates, via [`lit_date`]).
+    LitI64(i64),
+    /// Float literal (also decimal constants like `0.05`).
+    LitF64(f64),
+    /// String literal.
+    LitStr(String),
+    /// Query parameter produced by an earlier execution stage (scalar
+    /// subquery results, e.g. the average quantity in Q17).
+    Param(usize),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction of all children.
+    And(Vec<Expr>),
+    /// Disjunction of all children.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// SQL `LIKE` with `%` wildcards (no `_` support).
+    Like(Box<Expr>, String),
+    /// String membership test (`x IN ('A', 'B', …)`).
+    InStr(Box<Expr>, Vec<String>),
+    /// Integer membership test (`x IN (1, 2, …)`).
+    InI64(Box<Expr>, Vec<i64>),
+    /// 1-based `substring(expr, start, len)`.
+    Substr(Box<Expr>, usize, usize),
+    /// `extract(year from expr)`.
+    ExtractYear(Box<Expr>),
+    /// `CASE WHEN cond THEN a ELSE b END`.
+    Case(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+}
+
+/// Column reference.
+pub fn col(name: &str) -> Expr {
+    Expr::Col(name.to_string())
+}
+
+/// Integer literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::LitI64(v)
+}
+
+/// Float literal.
+pub fn litf(v: f64) -> Expr {
+    Expr::LitF64(v)
+}
+
+/// String literal.
+pub fn lits(v: &str) -> Expr {
+    Expr::LitStr(v.to_string())
+}
+
+/// Date literal as day number.
+pub fn lit_date(y: i64, m: u32, d: u32) -> Expr {
+    Expr::LitI64(hsqp_storage::date_from_ymd(y, m, d))
+}
+
+impl Expr {
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        match self {
+            Expr::And(mut v) => {
+                v.push(other);
+                Expr::And(v)
+            }
+            e => Expr::And(vec![e, other]),
+        }
+    }
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        match self {
+            Expr::Or(mut v) => {
+                v.push(other);
+                Expr::Or(v)
+            }
+            e => Expr::Or(vec![e, other]),
+        }
+    }
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
+    }
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
+    }
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
+    }
+    /// `self / other`.
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Div, Box::new(self), Box::new(other))
+    }
+    /// `self LIKE pattern` (`%` wildcards only).
+    pub fn like(self, pattern: &str) -> Expr {
+        Expr::Like(Box::new(self), pattern.to_string())
+    }
+    /// `self BETWEEN lo AND hi` (inclusive).
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+    /// `self IN (strings…)`.
+    pub fn in_str(self, options: &[&str]) -> Expr {
+        Expr::InStr(
+            Box::new(self),
+            options.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+    /// `self IN (ints…)`.
+    pub fn in_i64(self, options: &[i64]) -> Expr {
+        Expr::InI64(Box::new(self), options.to_vec())
+    }
+    /// `substring(self, start, len)` with 1-based `start`.
+    pub fn substr(self, start: usize, len: usize) -> Expr {
+        Expr::Substr(Box::new(self), start, len)
+    }
+    /// `extract(year from self)`.
+    pub fn year(self) -> Expr {
+        Expr::ExtractYear(Box::new(self))
+    }
+    /// `CASE WHEN self THEN a ELSE b END`.
+    pub fn case(self, then: Expr, els: Expr) -> Expr {
+        Expr::Case(Box::new(self), Box::new(then), Box::new(els))
+    }
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+}
+
+/// Physical payload of an evaluated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VecData {
+    /// Integers / dates / years.
+    I64(Vec<i64>),
+    /// Floats (including promoted decimals).
+    F64(Vec<f64>),
+    /// Strings.
+    Str(StringColumn),
+    /// Booleans (filter masks).
+    Bool(Vec<bool>),
+}
+
+/// An evaluated expression: data plus optional validity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalVec {
+    /// The values.
+    pub data: VecData,
+    /// Validity; `None` means all rows valid.
+    pub validity: Option<Bitmap>,
+}
+
+impl EvalVec {
+    fn dense(data: VecData) -> Self {
+        Self {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            VecData::I64(v) => v.len(),
+            VecData::F64(v) => v.len(),
+            VecData::Str(v) => v.len(),
+            VecData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether row `i` is valid.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |b| b.get(i))
+    }
+
+    /// The boolean mask, for filter predicates.
+    ///
+    /// # Panics
+    /// Panics if the expression did not evaluate to booleans.
+    pub fn into_mask(self) -> Vec<bool> {
+        match self.data {
+            VecData::Bool(mut v) => {
+                if let Some(bm) = self.validity {
+                    for (i, x) in v.iter_mut().enumerate() {
+                        *x = *x && bm.get(i);
+                    }
+                }
+                v
+            }
+            other => panic!("expected boolean expression, got {other:?}"),
+        }
+    }
+
+    /// Scalar at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            VecData::I64(v) => Value::I64(v[i]),
+            VecData::F64(v) => Value::F64(v[i]),
+            VecData::Str(v) => Value::Str(v.get(i).to_owned()),
+            VecData::Bool(v) => Value::I64(i64::from(v[i])),
+        }
+    }
+
+    /// Convert to a storage column with inferred type.
+    pub fn into_column(self) -> (Column, DataType) {
+        let v = self.validity;
+        match self.data {
+            VecData::I64(d) => (Column::I64(d, v), DataType::Int64),
+            VecData::F64(d) => (Column::F64(d, v), DataType::Float64),
+            VecData::Str(d) => (Column::Str(d, v), DataType::Utf8),
+            VecData::Bool(d) => (
+                Column::I64(d.into_iter().map(i64::from).collect(), v),
+                DataType::Int64,
+            ),
+        }
+    }
+}
+
+/// Evaluate `expr` over rows `range` of `table`; `params` resolves
+/// [`Expr::Param`] references.
+pub fn eval(expr: &Expr, table: &Table, range: Range<usize>, params: &[Value]) -> EvalVec {
+    let n = range.len();
+    match expr {
+        Expr::Col(name) => eval_col(table, name, range),
+        Expr::LitI64(v) => EvalVec::dense(VecData::I64(vec![*v; n])),
+        Expr::LitF64(v) => EvalVec::dense(VecData::F64(vec![*v; n])),
+        Expr::LitStr(s) => {
+            let mut c = StringColumn::with_capacity(n, s.len());
+            for _ in 0..n {
+                c.push(s);
+            }
+            EvalVec::dense(VecData::Str(c))
+        }
+        Expr::Param(i) => {
+            let v = params
+                .get(*i)
+                .unwrap_or_else(|| panic!("parameter {i} not bound"));
+            match v {
+                Value::I64(x) => EvalVec::dense(VecData::I64(vec![*x; n])),
+                Value::F64(x) => EvalVec::dense(VecData::F64(vec![*x; n])),
+                Value::Str(s) => {
+                    let mut c = StringColumn::with_capacity(n, s.len());
+                    for _ in 0..n {
+                        c.push(s);
+                    }
+                    EvalVec::dense(VecData::Str(c))
+                }
+                Value::Null => EvalVec {
+                    data: VecData::I64(vec![0; n]),
+                    validity: Some(Bitmap::filled(n, false)),
+                },
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let va = eval(a, table, range.clone(), params);
+            let vb = eval(b, table, range, params);
+            eval_cmp(*op, &va, &vb)
+        }
+        Expr::And(children) => {
+            let mut acc = vec![true; n];
+            for c in children {
+                let m = eval(c, table, range.clone(), params).into_mask();
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a = *a && b;
+                }
+            }
+            EvalVec::dense(VecData::Bool(acc))
+        }
+        Expr::Or(children) => {
+            let mut acc = vec![false; n];
+            for c in children {
+                let m = eval(c, table, range.clone(), params).into_mask();
+                for (a, b) in acc.iter_mut().zip(m) {
+                    *a = *a || b;
+                }
+            }
+            EvalVec::dense(VecData::Bool(acc))
+        }
+        Expr::Not(c) => {
+            let m = eval(c, table, range, params).into_mask();
+            EvalVec::dense(VecData::Bool(m.into_iter().map(|b| !b).collect()))
+        }
+        Expr::Arith(op, a, b) => {
+            let va = eval(a, table, range.clone(), params);
+            let vb = eval(b, table, range, params);
+            eval_arith(*op, va, vb)
+        }
+        Expr::Like(input, pattern) => {
+            let v = eval(input, table, range, params);
+            let matcher = LikeMatcher::new(pattern);
+            let strs = expect_str(&v);
+            let mask: Vec<bool> = (0..v.len())
+                .map(|i| v.is_valid(i) && matcher.matches(strs.get(i)))
+                .collect();
+            EvalVec::dense(VecData::Bool(mask))
+        }
+        Expr::InStr(input, options) => {
+            let v = eval(input, table, range, params);
+            let strs = expect_str(&v);
+            let mask: Vec<bool> = (0..v.len())
+                .map(|i| v.is_valid(i) && options.iter().any(|o| o == strs.get(i)))
+                .collect();
+            EvalVec::dense(VecData::Bool(mask))
+        }
+        Expr::InI64(input, options) => {
+            let v = eval(input, table, range, params);
+            let ints = match &v.data {
+                VecData::I64(d) => d,
+                other => panic!("IN over integers needs integer input, got {other:?}"),
+            };
+            let mask: Vec<bool> = ints
+                .iter()
+                .enumerate()
+                .map(|(i, x)| v.is_valid(i) && options.contains(x))
+                .collect();
+            EvalVec::dense(VecData::Bool(mask))
+        }
+        Expr::Substr(input, start, len) => {
+            let v = eval(input, table, range, params);
+            let strs = expect_str(&v);
+            let mut out = StringColumn::with_capacity(v.len(), *len);
+            for i in 0..v.len() {
+                let s = strs.get(i);
+                let from = (*start - 1).min(s.len());
+                let to = (from + *len).min(s.len());
+                out.push(s.get(from..to).unwrap_or(""));
+            }
+            EvalVec {
+                data: VecData::Str(out),
+                validity: v.validity,
+            }
+        }
+        Expr::ExtractYear(input) => {
+            let v = eval(input, table, range, params);
+            let days = match &v.data {
+                VecData::I64(d) => d,
+                other => panic!("extract(year) needs a date column, got {other:?}"),
+            };
+            EvalVec {
+                data: VecData::I64(days.iter().map(|&d| hsqp_storage::year_of_date(d)).collect()),
+                validity: v.validity,
+            }
+        }
+        Expr::Case(cond, then, els) => {
+            let mask = eval(cond, table, range.clone(), params).into_mask();
+            let vt = eval(then, table, range.clone(), params);
+            let ve = eval(els, table, range, params);
+            eval_case(&mask, vt, ve)
+        }
+        Expr::IsNull(input) => {
+            let v = eval(input, table, range, params);
+            let mask: Vec<bool> = (0..v.len()).map(|i| !v.is_valid(i)).collect();
+            EvalVec::dense(VecData::Bool(mask))
+        }
+    }
+}
+
+fn eval_col(table: &Table, name: &str, range: Range<usize>) -> EvalVec {
+    let idx = table.schema().index_of(name);
+    let dtype = table.schema().fields()[idx].dtype;
+    let column = table.column(idx);
+    let validity = column
+        .validity()
+        .map(|bm| range.clone().map(|i| bm.get(i)).collect());
+    let data = match (column, dtype) {
+        (Column::I64(v, _), DataType::Decimal) => {
+            VecData::F64(v[range].iter().map(|&x| x as f64 / 100.0).collect())
+        }
+        (Column::I64(v, _), _) => VecData::I64(v[range].to_vec()),
+        (Column::F64(v, _), _) => VecData::F64(v[range].to_vec()),
+        (Column::Str(v, _), _) => {
+            let mut out = StringColumn::with_capacity(range.len(), 16);
+            for i in range {
+                out.push(v.get(i));
+            }
+            VecData::Str(out)
+        }
+    };
+    EvalVec { data, validity }
+}
+
+fn expect_str(v: &EvalVec) -> &StringColumn {
+    match &v.data {
+        VecData::Str(s) => s,
+        other => panic!("expected string expression, got {other:?}"),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: &EvalVec, b: &EvalVec) -> EvalVec {
+    use std::cmp::Ordering;
+    let n = a.len();
+    assert_eq!(n, b.len(), "comparison arity mismatch");
+    let ord_ok = |o: Ordering| match op {
+        CmpOp::Eq => o == Ordering::Equal,
+        CmpOp::Ne => o != Ordering::Equal,
+        CmpOp::Lt => o == Ordering::Less,
+        CmpOp::Le => o != Ordering::Greater,
+        CmpOp::Gt => o == Ordering::Greater,
+        CmpOp::Ge => o != Ordering::Less,
+    };
+    let mut mask = Vec::with_capacity(n);
+    match (&a.data, &b.data) {
+        (VecData::I64(x), VecData::I64(y)) => {
+            for i in 0..n {
+                mask.push(ord_ok(x[i].cmp(&y[i])));
+            }
+        }
+        (VecData::Str(x), VecData::Str(y)) => {
+            for i in 0..n {
+                mask.push(ord_ok(x.get(i).cmp(y.get(i))));
+            }
+        }
+        _ => {
+            // Mixed numeric: promote to f64.
+            let x = as_f64(&a.data);
+            let y = as_f64(&b.data);
+            for i in 0..n {
+                mask.push(
+                    x[i]
+                        .partial_cmp(&y[i])
+                        .is_some_and(|o| ord_ok(o)),
+                );
+            }
+        }
+    }
+    // NULL comparisons are never true.
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = *m && a.is_valid(i) && b.is_valid(i);
+    }
+    EvalVec::dense(VecData::Bool(mask))
+}
+
+fn as_f64(data: &VecData) -> Vec<f64> {
+    match data {
+        VecData::I64(v) => v.iter().map(|&x| x as f64).collect(),
+        VecData::F64(v) => v.clone(),
+        other => panic!("expected numeric expression, got {other:?}"),
+    }
+}
+
+fn eval_arith(op: ArithOp, a: EvalVec, b: EvalVec) -> EvalVec {
+    let n = a.len();
+    assert_eq!(n, b.len(), "arithmetic arity mismatch");
+    let validity = merge_validity(&a, &b, n);
+    let data = match (&a.data, &b.data) {
+        (VecData::I64(x), VecData::I64(y)) if op != ArithOp::Div => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match op {
+                    ArithOp::Add => x[i] + y[i],
+                    ArithOp::Sub => x[i] - y[i],
+                    ArithOp::Mul => x[i] * y[i],
+                    ArithOp::Div => unreachable!(),
+                });
+            }
+            VecData::I64(out)
+        }
+        _ => {
+            let x = as_f64(&a.data);
+            let y = as_f64(&b.data);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match op {
+                    ArithOp::Add => x[i] + y[i],
+                    ArithOp::Sub => x[i] - y[i],
+                    ArithOp::Mul => x[i] * y[i],
+                    ArithOp::Div => x[i] / y[i],
+                });
+            }
+            VecData::F64(out)
+        }
+    };
+    EvalVec { data, validity }
+}
+
+fn merge_validity(a: &EvalVec, b: &EvalVec, n: usize) -> Option<Bitmap> {
+    if a.validity.is_none() && b.validity.is_none() {
+        return None;
+    }
+    Some((0..n).map(|i| a.is_valid(i) && b.is_valid(i)).collect())
+}
+
+fn eval_case(mask: &[bool], vt: EvalVec, ve: EvalVec) -> EvalVec {
+    let n = mask.len();
+    let validity = if vt.validity.is_some() || ve.validity.is_some() {
+        Some(
+            (0..n)
+                .map(|i| if mask[i] { vt.is_valid(i) } else { ve.is_valid(i) })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let data = match (vt.data, ve.data) {
+        (VecData::I64(t), VecData::I64(e)) => {
+            VecData::I64((0..n).map(|i| if mask[i] { t[i] } else { e[i] }).collect())
+        }
+        (t, e) => {
+            let t = as_f64(&t);
+            let e = as_f64(&e);
+            VecData::F64((0..n).map(|i| if mask[i] { t[i] } else { e[i] }).collect())
+        }
+    };
+    EvalVec { data, validity }
+}
+
+/// A compiled `%`-wildcard LIKE pattern.
+#[derive(Debug, Clone)]
+pub struct LikeMatcher {
+    parts: Vec<String>,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+impl LikeMatcher {
+    /// Compile `pattern`.
+    pub fn new(pattern: &str) -> Self {
+        Self {
+            parts: pattern
+                .split('%')
+                .filter(|p| !p.is_empty())
+                .map(str::to_owned)
+                .collect(),
+            anchored_start: !pattern.starts_with('%'),
+            anchored_end: !pattern.ends_with('%'),
+        }
+    }
+
+    /// Whether `text` matches the pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        if self.parts.is_empty() {
+            // Pattern was "" (matches only empty text) or all-% (matches
+            // everything).
+            return !(self.anchored_start && self.anchored_end) || text.is_empty();
+        }
+        let mut rest = text;
+        for (i, part) in self.parts.iter().enumerate() {
+            let first = i == 0;
+            let last = i + 1 == self.parts.len();
+            if first && self.anchored_start {
+                if !rest.starts_with(part.as_str()) {
+                    return false;
+                }
+                rest = &rest[part.len()..];
+                if last && self.anchored_end {
+                    return rest.is_empty();
+                }
+            } else if last && self.anchored_end {
+                return rest.ends_with(part.as_str());
+            } else {
+                match rest.find(part.as_str()) {
+                    Some(pos) => rest = &rest[pos + part.len()..],
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsqp_storage::{Field, Schema};
+
+    fn test_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("price", DataType::Decimal),
+            Field::new("name", DataType::Utf8),
+            Field::new("d", DataType::Date),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::I64(vec![1, 2, 3, 4], None),
+                Column::I64(vec![100, 250, 999, 0], None), // 1.00, 2.50, 9.99, 0
+                Column::Str(["apple", "banana", "apricot", "kiwi"].into_iter().collect(), None),
+                Column::I64(
+                    vec![
+                        hsqp_storage::date_from_ymd(1995, 1, 1),
+                        hsqp_storage::date_from_ymd(1996, 7, 4),
+                        hsqp_storage::date_from_ymd(1996, 12, 31),
+                        hsqp_storage::date_from_ymd(1997, 2, 2),
+                    ],
+                    None,
+                ),
+            ],
+        )
+    }
+
+    fn run(e: &Expr) -> EvalVec {
+        let t = test_table();
+        eval(e, &t, 0..t.rows(), &[])
+    }
+
+    #[test]
+    fn decimal_columns_promote_to_f64() {
+        let v = run(&col("price"));
+        assert_eq!(v.data, VecData::F64(vec![1.0, 2.5, 9.99, 0.0]));
+    }
+
+    #[test]
+    fn comparison_masks() {
+        let v = run(&col("k").gt(lit(2))).into_mask();
+        assert_eq!(v, vec![false, false, true, true]);
+        let v = run(&col("price").le(litf(2.5))).into_mask();
+        assert_eq!(v, vec![true, true, false, true]);
+        let v = run(&col("name").eq(lits("kiwi"))).into_mask();
+        assert_eq!(v, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = col("k").gt(lit(1)).and(col("k").lt(lit(4)));
+        assert_eq!(run(&e).into_mask(), vec![false, true, true, false]);
+        let e = col("k").eq(lit(1)).or(col("k").eq(lit(4)));
+        assert_eq!(run(&e).into_mask(), vec![true, false, false, true]);
+        let e = col("k").eq(lit(1)).not();
+        assert_eq!(run(&e).into_mask(), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn arithmetic_promotes() {
+        let v = run(&col("k").add(lit(10)));
+        assert_eq!(v.data, VecData::I64(vec![11, 12, 13, 14]));
+        let v = run(&col("price").mul(litf(2.0)));
+        assert_eq!(v.data, VecData::F64(vec![2.0, 5.0, 19.98, 0.0]));
+        let v = run(&col("k").div(lit(2)));
+        assert_eq!(v.data, VecData::F64(vec![0.5, 1.0, 1.5, 2.0]));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(LikeMatcher::new("PROMO%").matches("PROMO POLISHED TIN"));
+        assert!(!LikeMatcher::new("PROMO%").matches("STANDARD TIN"));
+        assert!(LikeMatcher::new("%BRASS").matches("LARGE PLATED BRASS"));
+        assert!(LikeMatcher::new("%special%requests%").matches("xx special yy requests zz"));
+        assert!(!LikeMatcher::new("%special%requests%").matches("requests then special"));
+        assert!(LikeMatcher::new("green").matches("green"));
+        assert!(!LikeMatcher::new("green").matches("greenish"));
+        let v = run(&col("name").like("ap%"));
+        assert_eq!(v.into_mask(), vec![true, false, true, false]);
+        let v = run(&col("name").like("%an%"));
+        assert_eq!(v.into_mask(), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let e = col("k").between(lit(2), lit(3));
+        assert_eq!(run(&e).into_mask(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn in_lists() {
+        let e = col("name").in_str(&["kiwi", "apple"]);
+        assert_eq!(run(&e).into_mask(), vec![true, false, false, true]);
+        let e = col("k").in_i64(&[2, 4]);
+        assert_eq!(run(&e).into_mask(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn substr_and_year() {
+        let v = run(&col("name").substr(1, 2));
+        match v.data {
+            VecData::Str(s) => {
+                assert_eq!(s.get(0), "ap");
+                assert_eq!(s.get(3), "ki");
+            }
+            other => panic!("{other:?}"),
+        }
+        let v = run(&col("d").year());
+        assert_eq!(v.data, VecData::I64(vec![1995, 1996, 1996, 1997]));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = col("k")
+            .gt(lit(2))
+            .case(col("price"), litf(0.0));
+        let v = run(&e);
+        assert_eq!(v.data, VecData::F64(vec![0.0, 0.0, 9.99, 0.0]));
+    }
+
+    #[test]
+    fn params_resolve() {
+        let t = test_table();
+        let e = col("k").gt(Expr::Param(0));
+        let v = eval(&e, &t, 0..4, &[Value::I64(3)]);
+        assert_eq!(v.into_mask(), vec![false, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter 0 not bound")]
+    fn unbound_param_panics() {
+        run(&Expr::Param(0));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let schema = Schema::new(vec![Field::nullable("x", DataType::Int64)]);
+        let mut c = Column::empty(DataType::Int64);
+        c.push_value(&Value::I64(5));
+        c.push_value(&Value::Null);
+        let t = Table::new(schema, vec![c]);
+        let v = eval(&col("x").eq(lit(5)), &t, 0..2, &[]);
+        assert_eq!(v.into_mask(), vec![true, false]);
+        let v = eval(&col("x").is_null(), &t, 0..2, &[]);
+        assert_eq!(v.into_mask(), vec![false, true]);
+    }
+
+    #[test]
+    fn subrange_evaluation() {
+        let t = test_table();
+        let v = eval(&col("k"), &t, 1..3, &[]);
+        assert_eq!(v.data, VecData::I64(vec![2, 3]));
+    }
+
+    #[test]
+    fn eval_vec_into_column_roundtrip() {
+        let v = run(&col("k").mul(lit(2)));
+        let (c, dt) = v.into_column();
+        assert_eq!(dt, DataType::Int64);
+        assert_eq!(c.i64_values(), &[2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # hsqp-engine — the distributed query engine
+//!
+//! This crate implements the paper's contribution: a distributed query
+//! engine built on **hybrid parallelism** and an **RDMA-based, NUMA-aware
+//! communication multiplexer** with low-latency round-robin network
+//! scheduling (§3).
+//!
+//! * Locally, queries run with *morsel-driven parallelism* ([`local`]):
+//!   workers pull constant-size morsels from a shared dispenser, which
+//!   self-balances load (work stealing) and keeps tuples NUMA-local.
+//! * Globally, *decoupled exchange operators* ([`exchange`]) partition
+//!   tuples by CRC32 hash into per-server messages, hand them to the
+//!   per-server communication multiplexer, and consume incoming messages
+//!   from NUMA-local receive queues with cross-socket work stealing.
+//! * The multiplexer sends messages over the [`hsqp_net`] fabric — RDMA or
+//!   TCP — following the round-robin network schedule that avoids switch
+//!   contention.
+//! * The *classic exchange operator* baseline (n·t parallel units, static
+//!   partition ownership, no stealing, no scheduling) is implemented for
+//!   comparison, as are chunked vs partitioned data placement.
+//!
+//! [`queries`] contains hand-built physical plans for all 22 TPC-H queries
+//! (the paper's workload); [`cluster`] is the SPMD driver that runs a plan
+//! across all simulated servers and gathers the result.
+
+pub mod cluster;
+pub mod error;
+pub mod exchange;
+pub mod exec;
+pub mod expr;
+pub mod local;
+pub mod ops;
+pub mod plan;
+pub mod queries;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig, EngineKind, QueryResult, Transport};
+pub use error::EngineError;
+pub use expr::Expr;
+pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};

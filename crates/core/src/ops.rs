@@ -1,0 +1,883 @@
+//! Relational operators: hash join, hash aggregation, sort.
+//!
+//! Operators are morsel-parallel: probe/aggregation input is split into
+//! morsels claimed dynamically by workers ([`crate::local::MorselDriver`]),
+//! worker-local results are merged at the pipeline breaker — the HyPer
+//! execution model the paper builds on.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use hsqp_storage::{Bitmap, Column, DataType, Field, Schema, Table, Value};
+
+use crate::expr::{eval, EvalVec, VecData};
+use crate::local::MorselDriver;
+use crate::plan::{AggFunc, AggPhase, AggSpec, JoinKind, SortKey};
+
+/// A fast, non-cryptographic hasher for join/aggregation keys (FxHash's
+/// multiply-xor scheme; HashDoS is not a concern inside a query engine).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(SEED);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` with the engine hasher.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the engine hasher.
+pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// One component of a composite join/group key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    /// Integer-backed key (ints, dates, decimals in cents).
+    I64(i64),
+    /// String key.
+    Str(Box<str>),
+    /// NULL key component (groups NULLs together, SQL GROUP BY semantics).
+    Null,
+}
+
+/// A composite key.
+pub type Key = Vec<KeyPart>;
+
+/// Extract the key of row `row` from `columns`.
+pub fn key_of(columns: &[&Column], row: usize) -> Key {
+    columns
+        .iter()
+        .map(|c| {
+            if !c.is_valid(row) {
+                KeyPart::Null
+            } else {
+                match c {
+                    Column::I64(v, _) => KeyPart::I64(v[row]),
+                    Column::F64(v, _) => KeyPart::I64(v[row].to_bits() as i64),
+                    Column::Str(v, _) => KeyPart::Str(v.get(row).into()),
+                }
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// A materialized join hash table over the build side.
+pub struct JoinTable {
+    build: Table,
+    index: FxMap<Key, Vec<u32>>,
+}
+
+impl JoinTable {
+    /// Build the hash table from `build` keyed by `key_cols`.
+    pub fn build(build: Table, key_cols: &[usize]) -> Self {
+        let cols: Vec<&Column> = key_cols.iter().map(|&i| build.column(i)).collect();
+        let mut index: FxMap<Key, Vec<u32>> = FxMap::default();
+        for row in 0..build.rows() {
+            let key = key_of(&cols, row);
+            if key.iter().any(|k| *k == KeyPart::Null) {
+                continue; // NULL keys never join
+            }
+            index.entry(key).or_default().push(row as u32);
+        }
+        Self { build, index }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The build-side table.
+    pub fn build_side(&self) -> &Table {
+        &self.build
+    }
+}
+
+/// Output schema of a join.
+pub fn join_schema(probe: &Schema, build: &Schema, kind: JoinKind) -> Schema {
+    match kind {
+        JoinKind::LeftSemi | JoinKind::LeftAnti => probe.clone(),
+        JoinKind::Inner | JoinKind::LeftOuter => {
+            let mut fields: Vec<Field> = probe.fields().to_vec();
+            for f in build.fields() {
+                assert!(
+                    probe.fields().iter().all(|p| p.name != f.name),
+                    "duplicate column {:?} across join sides",
+                    f.name
+                );
+                let mut f = f.clone();
+                if kind == JoinKind::LeftOuter {
+                    f.nullable = true;
+                }
+                fields.push(f);
+            }
+            Schema::new(fields)
+        }
+    }
+}
+
+/// Probe `probe` against `table`, morsel-parallel, producing the joined
+/// result.
+pub fn probe_join(
+    probe: &Table,
+    table: &JoinTable,
+    probe_key_cols: &[usize],
+    kind: JoinKind,
+    driver: &MorselDriver,
+) -> Table {
+    let out_schema = join_schema(probe.schema(), table.build.schema(), kind);
+    let cols: Vec<&Column> = probe_key_cols.iter().map(|&i| probe.column(i)).collect();
+
+    let parts = driver.run(
+        probe.rows(),
+        |_| (Vec::<usize>::new(), Vec::<Option<u32>>::new()),
+        |(probe_idx, build_idx), _, m| {
+            for row in m.range() {
+                let key = key_of(&cols, row);
+                let matches = if key.iter().any(|k| *k == KeyPart::Null) {
+                    None
+                } else {
+                    table.index.get(&key)
+                };
+                match kind {
+                    JoinKind::Inner => {
+                        if let Some(rows) = matches {
+                            for &b in rows {
+                                probe_idx.push(row);
+                                build_idx.push(Some(b));
+                            }
+                        }
+                    }
+                    JoinKind::LeftOuter => match matches {
+                        Some(rows) => {
+                            for &b in rows {
+                                probe_idx.push(row);
+                                build_idx.push(Some(b));
+                            }
+                        }
+                        None => {
+                            probe_idx.push(row);
+                            build_idx.push(None);
+                        }
+                    },
+                    JoinKind::LeftSemi => {
+                        if matches.is_some() {
+                            probe_idx.push(row);
+                        }
+                    }
+                    JoinKind::LeftAnti => {
+                        if matches.is_none() {
+                            probe_idx.push(row);
+                        }
+                    }
+                }
+            }
+        },
+    );
+
+    let mut out = Table::empty(out_schema);
+    for (probe_idx, build_idx) in parts {
+        if probe_idx.is_empty() {
+            continue;
+        }
+        let left = probe.gather(&probe_idx);
+        let piece = match kind {
+            JoinKind::LeftSemi | JoinKind::LeftAnti => left,
+            JoinKind::Inner | JoinKind::LeftOuter => {
+                let right = gather_optional(&table.build, &build_idx);
+                let mut cols = left.columns().to_vec();
+                cols.extend(right);
+                Table::new(out.schema().clone(), cols)
+            }
+        };
+        out.append(&piece);
+    }
+    out
+}
+
+/// Gather build rows where `idx[i]` may be None (left-outer miss → NULL row).
+fn gather_optional(build: &Table, idx: &[Option<u32>]) -> Vec<Column> {
+    if idx.iter().all(Option::is_some) {
+        let dense: Vec<usize> = idx.iter().map(|i| i.expect("checked") as usize).collect();
+        return build.gather(&dense).columns().to_vec();
+    }
+    let validity: Bitmap = idx.iter().map(Option::is_some).collect();
+    let dense: Vec<usize> = idx.iter().map(|i| i.unwrap_or(0) as usize).collect();
+    build
+        .gather(&dense)
+        .columns()
+        .iter()
+        .map(|c| match c.clone() {
+            Column::I64(v, _) => Column::I64(v, Some(validity.clone())),
+            Column::F64(v, _) => Column::F64(v, Some(validity.clone())),
+            Column::Str(v, _) => Column::Str(v, Some(validity.clone())),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum { sum: f64, any: bool },
+    Count(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, cnt: i64 },
+    Distinct(FxSet<KeyPart>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => AggState::Sum { sum: 0.0, any: false },
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, cnt: 0 },
+            AggFunc::CountDistinct => AggState::Distinct(FxSet::default()),
+        }
+    }
+
+    fn update(&mut self, v: &EvalVec, row: usize) {
+        if !v.is_valid(row) {
+            return; // SQL aggregates skip NULLs
+        }
+        match self {
+            AggState::Sum { sum, any } => {
+                *sum += numeric(v, row);
+                *any = true;
+            }
+            AggState::Count(c) => *c += 1,
+            AggState::Min(cur) => {
+                let val = v.value(row);
+                if cur.as_ref().map_or(true, |c| value_lt(&val, c)) {
+                    *cur = Some(val);
+                }
+            }
+            AggState::Max(cur) => {
+                let val = v.value(row);
+                if cur.as_ref().map_or(true, |c| value_lt(c, &val)) {
+                    *cur = Some(val);
+                }
+            }
+            AggState::Avg { sum, cnt } => {
+                *sum += numeric(v, row);
+                *cnt += 1;
+            }
+            AggState::Distinct(set) => {
+                let part = match &v.data {
+                    VecData::I64(d) => KeyPart::I64(d[row]),
+                    VecData::F64(d) => KeyPart::I64(d[row].to_bits() as i64),
+                    VecData::Str(d) => KeyPart::Str(d.get(row).into()),
+                    VecData::Bool(d) => KeyPart::I64(i64::from(d[row])),
+                };
+                set.insert(part);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Sum { sum, any }, AggState::Sum { sum: s2, any: a2 }) => {
+                *sum += s2;
+                *any |= a2;
+            }
+            (AggState::Count(c), AggState::Count(c2)) => *c += c2,
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(o) = other {
+                    if cur.as_ref().map_or(true, |c| value_lt(&o, c)) {
+                        *cur = Some(o);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(o) = other {
+                    if cur.as_ref().map_or(true, |c| value_lt(c, &o)) {
+                        *cur = Some(o);
+                    }
+                }
+            }
+            (AggState::Avg { sum, cnt }, AggState::Avg { sum: s2, cnt: c2 }) => {
+                *sum += s2;
+                *cnt += c2;
+            }
+            (AggState::Distinct(set), AggState::Distinct(other)) => set.extend(other),
+            _ => panic!("mismatched aggregate states"),
+        }
+    }
+}
+
+fn numeric(v: &EvalVec, row: usize) -> f64 {
+    match &v.data {
+        VecData::I64(d) => d[row] as f64,
+        VecData::F64(d) => d[row],
+        VecData::Bool(d) => f64::from(u8::from(d[row])),
+        VecData::Str(_) => panic!("cannot sum strings"),
+    }
+}
+
+/// Total order over values: NULL sorts last; numerics compare numerically.
+fn value_lt(a: &Value, b: &Value) -> bool {
+    value_cmp(a, b) == std::cmp::Ordering::Less
+}
+
+/// Comparison used by MIN/MAX and ORDER BY.
+pub fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Greater, // NULLs last
+        (_, Value::Null) => Ordering::Less,
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => {
+            let x = a.as_f64();
+            let y = b.as_f64();
+            x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+        }
+    }
+}
+
+/// Hash-aggregate `input`, morsel-parallel with per-worker maps merged at
+/// the end.
+///
+/// * `Single` computes final results directly.
+/// * `Partial` emits mergeable state columns (`name`, or `name__sum` +
+///   `name__cnt` for AVG) — the pre-aggregation of Figure 6(c).
+/// * `Final` merges state columns produced by `Partial`.
+pub fn aggregate(
+    input: &Table,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    phase: AggPhase,
+    driver: &MorselDriver,
+    params: &[Value],
+) -> Table {
+    assert!(
+        phase == AggPhase::Final
+            || !aggs
+                .iter()
+                .any(|a| a.func == AggFunc::CountDistinct && phase == AggPhase::Partial),
+        "count(distinct) cannot be pre-aggregated"
+    );
+
+    // In Final phase the input carries partial-state columns; aggregate
+    // specs are rewritten to merge them.
+    let effective: Vec<(AggFunc, Expr2)> = match phase {
+        AggPhase::Final => aggs
+            .iter()
+            .map(|a| match a.func {
+                AggFunc::Sum => (AggFunc::Sum, Expr2::Col(format!("{}", a.name))),
+                AggFunc::Count => (AggFunc::Sum, Expr2::Col(a.name.clone())),
+                AggFunc::Min => (AggFunc::Min, Expr2::Col(a.name.clone())),
+                AggFunc::Max => (AggFunc::Max, Expr2::Col(a.name.clone())),
+                AggFunc::Avg => (
+                    AggFunc::Avg,
+                    Expr2::Pair(format!("{}__sum", a.name), format!("{}__cnt", a.name)),
+                ),
+                AggFunc::CountDistinct => (AggFunc::CountDistinct, Expr2::Col(a.name.clone())),
+            })
+            .collect(),
+        _ => aggs
+            .iter()
+            .map(|a| (a.func, Expr2::Expr(a.expr.clone())))
+            .collect(),
+    };
+
+    let group_cols: Vec<&Column> = group_by.iter().map(|&i| input.column(i)).collect();
+
+    let maps = driver.run(
+        input.rows(),
+        |_| FxMap::<Key, Vec<AggState>>::default(),
+        |map, _, m| {
+            // Evaluate agg inputs once per morsel.
+            let inputs: Vec<AggInput> = effective
+                .iter()
+                .map(|(func, e)| AggInput::eval(e, *func, input, m.range(), params))
+                .collect();
+            for row in m.range() {
+                let key = key_of(&group_cols, row);
+                let states = map.entry(key).or_insert_with(|| {
+                    effective.iter().map(|(f, _)| AggState::new(*f)).collect()
+                });
+                let local = row - m.start;
+                for (state, inp) in states.iter_mut().zip(&inputs) {
+                    inp.update(state, local);
+                }
+            }
+        },
+    );
+
+    // Merge worker maps.
+    let mut merged: FxMap<Key, Vec<AggState>> = FxMap::default();
+    for map in maps {
+        for (k, states) in map {
+            match merged.entry(k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(states);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Global aggregate over empty input still yields one row (Final/Single).
+    if merged.is_empty() && group_by.is_empty() && phase != AggPhase::Partial {
+        merged.insert(
+            Vec::new(),
+            effective.iter().map(|(f, _)| AggState::new(*f)).collect(),
+        );
+    }
+
+    // MIN/MAX output columns take the *static* type of their input
+    // expression (evaluated over zero rows), so empty partials keep the
+    // same schema as populated ones.
+    let minmax_types: Vec<DataType> = effective
+        .iter()
+        .map(|(func, e)| match func {
+            AggFunc::Min | AggFunc::Max => {
+                let v = match e {
+                    Expr2::Expr(x) => eval(x, input, 0..0, params),
+                    Expr2::Col(name) => {
+                        eval(&crate::expr::Expr::Col(name.clone()), input, 0..0, params)
+                    }
+                    Expr2::Pair(..) => unreachable!("pairs are AVG-only"),
+                };
+                v.into_column().1
+            }
+            _ => DataType::Float64,
+        })
+        .collect();
+
+    build_agg_output(input, group_by, aggs, phase, merged, &minmax_types)
+}
+
+/// How an aggregate reads its input in a given phase.
+enum Expr2 {
+    Expr(crate::expr::Expr),
+    Col(String),
+    Pair(String, String),
+}
+
+enum AggInput {
+    Vec(EvalVec),
+    /// AVG merge: partial sums and counts.
+    Pair(EvalVec, EvalVec),
+}
+
+impl AggInput {
+    fn eval(e: &Expr2, _func: AggFunc, table: &Table, range: std::ops::Range<usize>, params: &[Value]) -> Self {
+        match e {
+            Expr2::Expr(x) => AggInput::Vec(eval(x, table, range, params)),
+            Expr2::Col(name) => AggInput::Vec(eval(
+                &crate::expr::Expr::Col(name.clone()),
+                table,
+                range,
+                params,
+            )),
+            Expr2::Pair(s, c) => AggInput::Pair(
+                eval(&crate::expr::Expr::Col(s.clone()), table, range.clone(), params),
+                eval(&crate::expr::Expr::Col(c.clone()), table, range, params),
+            ),
+        }
+    }
+
+    fn update(&self, state: &mut AggState, row: usize) {
+        match self {
+            AggInput::Vec(v) => state.update(v, row),
+            AggInput::Pair(sums, cnts) => {
+                if let AggState::Avg { sum, cnt } = state {
+                    if sums.is_valid(row) {
+                        *sum += numeric(sums, row);
+                        *cnt += match &cnts.data {
+                            VecData::I64(d) => d[row],
+                            VecData::F64(d) => d[row] as i64,
+                            _ => panic!("count column must be numeric"),
+                        };
+                    }
+                } else {
+                    panic!("paired input only for AVG merge");
+                }
+            }
+        }
+    }
+}
+
+fn build_agg_output(
+    input: &Table,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    phase: AggPhase,
+    merged: FxMap<Key, Vec<AggState>>,
+    minmax_types: &[DataType],
+) -> Table {
+    // Output schema: group columns keep their input field definitions.
+    let mut fields: Vec<Field> = group_by
+        .iter()
+        .map(|&i| input.schema().fields()[i].clone())
+        .collect();
+    for a in aggs {
+        match (phase, a.func) {
+            (AggPhase::Partial, AggFunc::Avg) => {
+                fields.push(Field::new(format!("{}__sum", a.name), DataType::Float64));
+                fields.push(Field::new(format!("{}__cnt", a.name), DataType::Int64));
+            }
+            (_, AggFunc::Sum) | (_, AggFunc::Avg) => {
+                fields.push(Field::nullable(a.name.clone(), DataType::Float64));
+            }
+            (_, AggFunc::Count) | (_, AggFunc::CountDistinct) => {
+                fields.push(Field::new(a.name.clone(), DataType::Int64));
+            }
+            (_, AggFunc::Min) | (_, AggFunc::Max) => {
+                let idx = aggs.iter().position(|x| std::ptr::eq(x, a)).expect("in aggs");
+                fields.push(Field::nullable(a.name.clone(), minmax_types[idx]));
+            }
+        }
+    }
+    let schema = Schema::new(fields);
+    let mut columns: Vec<Column> = schema.fields().iter().map(|f| Column::empty(f.dtype)).collect();
+
+    for (key, states) in merged {
+        for (i, part) in key.iter().enumerate() {
+            let v = match part {
+                KeyPart::I64(x) => {
+                    if input.schema().fields()[group_by[i]].dtype == DataType::Float64 {
+                        Value::F64(f64::from_bits(*x as u64))
+                    } else {
+                        Value::I64(*x)
+                    }
+                }
+                KeyPart::Str(s) => Value::Str(s.to_string()),
+                KeyPart::Null => Value::Null,
+            };
+            columns[i].push_value(&v);
+        }
+        let mut c = group_by.len();
+        for (state, a) in states.into_iter().zip(aggs) {
+            match (phase, state) {
+                (AggPhase::Partial, AggState::Avg { sum, cnt }) => {
+                    columns[c].push_value(&Value::F64(sum));
+                    columns[c + 1].push_value(&Value::I64(cnt));
+                    c += 2;
+                    continue;
+                }
+                (_, AggState::Sum { sum, any }) => {
+                    // COUNT merged in the Final phase sums integer counts.
+                    let v = if a.func == AggFunc::Count {
+                        Value::I64(sum as i64)
+                    } else if any {
+                        Value::F64(sum)
+                    } else {
+                        Value::Null
+                    };
+                    columns[c].push_value(&v);
+                }
+                (_, AggState::Count(n)) => columns[c].push_value(&Value::I64(n)),
+                (_, AggState::Avg { sum, cnt }) => {
+                    columns[c].push_value(&if cnt > 0 {
+                        Value::F64(sum / cnt as f64)
+                    } else {
+                        Value::Null
+                    });
+                }
+                (_, AggState::Min(v)) | (_, AggState::Max(v)) => {
+                    columns[c].push_value(&v.unwrap_or(Value::Null));
+                }
+                (_, AggState::Distinct(set)) => {
+                    columns[c].push_value(&Value::I64(set.len() as i64));
+                }
+            }
+            let _ = a;
+            c += 1;
+        }
+    }
+    Table::new(schema, columns)
+}
+
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+/// Sort a table by `keys`, optionally truncating to `limit` rows.
+pub fn sort_table(input: &Table, keys: &[SortKey], limit: Option<usize>) -> Table {
+    let key_cols: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| (input.schema().index_of(&k.column), k.desc))
+        .collect();
+    let mut indices: Vec<usize> = (0..input.rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for &(c, desc) in &key_cols {
+            let va = input.value(a, c);
+            let vb = input.value(b, c);
+            let ord = value_cmp(&va, &vb);
+            if ord != std::cmp::Ordering::Equal {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(l) = limit {
+        indices.truncate(l);
+    }
+    input.gather(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use hsqp_numa::Topology;
+
+    fn driver() -> MorselDriver {
+        MorselDriver::new(2, &Topology::uniform(2), 64, true)
+    }
+
+    fn orders_like() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("grp", DataType::Utf8),
+            Field::new("v", DataType::Decimal),
+        ]);
+        let n = 200;
+        let keys: Vec<i64> = (0..n).collect();
+        let grps: hsqp_storage::StringColumn =
+            (0..n).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect();
+        let vals: Vec<i64> = (0..n).map(|i| i * 100).collect();
+        Table::new(
+            schema,
+            vec![
+                Column::I64(keys, None),
+                Column::Str(grps, None),
+                Column::I64(vals, None),
+            ],
+        )
+    }
+
+    fn dim() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("dk", DataType::Int64),
+            Field::new("label", DataType::Utf8),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::I64(vec![0, 1, 2, 0], None),
+                Column::Str(["zero", "one", "two", "zero2"].into_iter().collect(), None),
+            ],
+        )
+    }
+
+    #[test]
+    fn inner_join_matches_all_pairs() {
+        let probe = orders_like(); // keys 0..200
+        let build = dim(); // dk 0,1,2,0
+        let jt = JoinTable::build(build, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        // Probe keys 0,1,2 match; key 0 matches twice.
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.schema().len(), 5);
+        let mut labels: Vec<String> = (0..out.rows())
+            .map(|r| out.value(r, 4).as_str().to_string())
+            .collect();
+        labels.sort();
+        assert_eq!(labels, vec!["one", "two", "zero", "zero2"]);
+    }
+
+    #[test]
+    fn left_outer_join_fills_nulls() {
+        let probe = dim(); // dk 0,1,2,0
+        let schema = Schema::new(vec![
+            Field::new("bk", DataType::Int64),
+            Field::new("payload", DataType::Int64),
+        ]);
+        let build = Table::new(
+            schema,
+            vec![Column::I64(vec![1], None), Column::I64(vec![99], None)],
+        );
+        let jt = JoinTable::build(build, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftOuter, &driver());
+        assert_eq!(out.rows(), 4);
+        let matched: Vec<bool> = (0..4).map(|r| !out.value(r, 2).is_null()).collect();
+        assert_eq!(matched.iter().filter(|&&b| b).count(), 1);
+        // The matched row carries the payload.
+        let idx = matched.iter().position(|&b| b).unwrap();
+        assert_eq!(out.value(idx, 3), Value::I64(99));
+    }
+
+    #[test]
+    fn semi_and_anti_partition_probe() {
+        let probe = orders_like();
+        let jt = JoinTable::build(dim(), &[0]);
+        let semi = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
+        let anti = probe_join(&probe, &jt, &[0], JoinKind::LeftAnti, &driver());
+        assert_eq!(semi.rows(), 3); // keys 0,1,2 (distinct probe rows)
+        assert_eq!(anti.rows(), 197);
+        assert_eq!(semi.schema().len(), probe.schema().len());
+        assert_eq!(semi.rows() + anti.rows(), probe.rows());
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let schema = Schema::new(vec![Field::nullable("k", DataType::Int64)]);
+        let mut c = Column::empty(DataType::Int64);
+        c.push_value(&Value::I64(1));
+        c.push_value(&Value::Null);
+        let probe = Table::new(schema.clone(), vec![c]);
+        let mut b = Column::empty(DataType::Int64);
+        b.push_value(&Value::I64(1));
+        b.push_value(&Value::Null);
+        let build = Table::new(
+            Schema::new(vec![Field::nullable("bk", DataType::Int64)]),
+            vec![b],
+        );
+        let jt = JoinTable::build(build, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        assert_eq!(out.rows(), 1); // only 1 = 1 joins; NULL ≠ NULL
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let t = orders_like();
+        let aggs = vec![
+            AggSpec::new(AggFunc::Sum, col("v"), "total"),
+            AggSpec::new(AggFunc::Count, lit(1), "cnt"),
+            AggSpec::new(AggFunc::Min, col("k"), "lo"),
+            AggSpec::new(AggFunc::Max, col("k"), "hi"),
+            AggSpec::new(AggFunc::Avg, col("v"), "mean"),
+        ];
+        let out = aggregate(&t, &[1], &aggs, AggPhase::Single, &driver(), &[]);
+        assert_eq!(out.rows(), 2);
+        let g = out.schema().index_of("grp");
+        for r in 0..2 {
+            let name = out.value(r, g).as_str().to_string();
+            let total = out.value(r, out.schema().index_of("total")).as_f64();
+            let cnt = out.value(r, out.schema().index_of("cnt")).as_i64();
+            let lo = out.value(r, out.schema().index_of("lo")).as_i64();
+            assert_eq!(cnt, 100);
+            if name == "even" {
+                // sum of v (decimal /100) over even keys: sum(2i for i in 0..100) = 9900
+                assert!((total - 9900.0).abs() < 1e-6, "{total}");
+                assert_eq!(lo, 0);
+            } else {
+                assert!((total - 10000.0).abs() < 1e-6, "{total}");
+                assert_eq!(lo, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_emits_one_row() {
+        let t = Table::empty(orders_like().schema().clone());
+        let aggs = vec![
+            AggSpec::new(AggFunc::Count, lit(1), "cnt"),
+            AggSpec::new(AggFunc::Sum, col("v"), "total"),
+        ];
+        let out = aggregate(&t, &[], &aggs, AggPhase::Single, &driver(), &[]);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.value(0, 0), Value::I64(0));
+        assert_eq!(out.value(0, 1), Value::Null); // SUM of nothing is NULL
+    }
+
+    #[test]
+    fn partial_plus_final_equals_single() {
+        let t = orders_like();
+        let aggs = vec![
+            AggSpec::new(AggFunc::Sum, col("v"), "total"),
+            AggSpec::new(AggFunc::Avg, col("v"), "mean"),
+            AggSpec::new(AggFunc::Count, lit(1), "cnt"),
+        ];
+        let single = aggregate(&t, &[1], &aggs, AggPhase::Single, &driver(), &[]);
+        // Split the input as two nodes would see it, pre-aggregate each.
+        let half1 = t.gather(&(0..100).collect::<Vec<_>>());
+        let half2 = t.gather(&(100..200).collect::<Vec<_>>());
+        let p1 = aggregate(&half1, &[1], &aggs, AggPhase::Partial, &driver(), &[]);
+        let mut partials = aggregate(&half2, &[1], &aggs, AggPhase::Partial, &driver(), &[]);
+        partials.append(&p1);
+        let grp = partials.schema().index_of("grp");
+        let fin = aggregate(&partials, &[grp], &aggs, AggPhase::Final, &driver(), &[]);
+        let sorted_single = sort_table(&single, &[SortKey::asc("grp")], None);
+        let sorted_fin = sort_table(&fin, &[SortKey::asc("grp")], None);
+        assert_eq!(sorted_single.rows(), sorted_fin.rows());
+        for r in 0..sorted_single.rows() {
+            for c in 0..sorted_single.schema().len() {
+                let a = sorted_single.value(r, c);
+                let b = sorted_fin.value(r, c);
+                match (&a, &b) {
+                    (Value::F64(x), Value::F64(y)) => assert!((x - y).abs() < 1e-9),
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_distinct() {
+        let t = orders_like();
+        let aggs = vec![AggSpec::new(AggFunc::CountDistinct, col("grp"), "groups")];
+        let out = aggregate(&t, &[], &aggs, AggPhase::Single, &driver(), &[]);
+        assert_eq!(out.value(0, 0), Value::I64(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be pre-aggregated")]
+    fn count_distinct_rejects_partial_phase() {
+        let t = orders_like();
+        let aggs = vec![AggSpec::new(AggFunc::CountDistinct, col("k"), "d")];
+        aggregate(&t, &[], &aggs, AggPhase::Partial, &driver(), &[]);
+    }
+
+    #[test]
+    fn sort_orders_and_limits() {
+        let t = orders_like();
+        let out = sort_table(&t, &[SortKey::desc("k")], Some(3));
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.value(0, 0), Value::I64(199));
+        assert_eq!(out.value(2, 0), Value::I64(197));
+        let out = sort_table(&t, &[SortKey::asc("grp"), SortKey::desc("k")], Some(2));
+        assert_eq!(out.value(0, 1), Value::Str("even".into()));
+        assert_eq!(out.value(0, 0), Value::I64(198));
+    }
+
+    #[test]
+    fn value_cmp_total_order() {
+        use std::cmp::Ordering::*;
+        assert_eq!(value_cmp(&Value::I64(1), &Value::I64(2)), Less);
+        assert_eq!(value_cmp(&Value::F64(2.0), &Value::I64(1)), Greater);
+        assert_eq!(value_cmp(&Value::Null, &Value::I64(1)), Greater); // NULLs last
+        assert_eq!(
+            value_cmp(&Value::Str("a".into()), &Value::Str("b".into())),
+            Less
+        );
+    }
+}

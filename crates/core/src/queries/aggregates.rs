@@ -1,0 +1,193 @@
+//! Aggregation-dominated TPC-H queries: 1, 6, 13, 16.
+
+use hsqp_storage::date_from_ymd;
+use hsqp_tpch::TpchTable;
+
+use super::helpers::{dist_agg, dist_agg_nopre, global_agg};
+use super::Query;
+use crate::expr::{col, lit, litf, lits};
+use crate::plan::{AggFunc, AggSpec, JoinKind, Plan, SortKey};
+
+/// Q1 — pricing summary report. Heavy scan, eight aggregates over two tiny
+/// group keys; pre-aggregation reduces the shuffle to a handful of rows.
+pub fn q1() -> Query {
+    let cutoff = date_from_ymd(1998, 12, 1) - 90;
+    let scan = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+        ],
+        col("l_shipdate").le(lit(cutoff)),
+    );
+    let disc_price = col("l_extendedprice").mul(litf(1.0).sub(col("l_discount")));
+    let charge = disc_price.clone().mul(litf(1.0).add(col("l_tax")));
+    let agg = dist_agg(
+        scan,
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            AggSpec::new(AggFunc::Sum, col("l_quantity"), "sum_qty"),
+            AggSpec::new(AggFunc::Sum, col("l_extendedprice"), "sum_base_price"),
+            AggSpec::new(AggFunc::Sum, disc_price, "sum_disc_price"),
+            AggSpec::new(AggFunc::Sum, charge, "sum_charge"),
+            AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty"),
+            AggSpec::new(AggFunc::Avg, col("l_extendedprice"), "avg_price"),
+            AggSpec::new(AggFunc::Avg, col("l_discount"), "avg_disc"),
+            AggSpec::new(AggFunc::Count, lit(1), "count_order"),
+        ],
+    );
+    Query::single(
+        1,
+        agg.gather().sort(
+            vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")],
+            None,
+        ),
+    )
+}
+
+/// Q6 — forecasting revenue change. Pure scan + global aggregate; shuffles
+/// almost nothing (the paper's Figure 11 shows it scaling even on GbE).
+pub fn q6() -> Query {
+    let pred = col("l_shipdate")
+        .ge(lit(date_from_ymd(1994, 1, 1)))
+        .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 1, 1))))
+        .and(col("l_discount").between(litf(0.0499), litf(0.0701)))
+        .and(col("l_quantity").lt(litf(24.0)));
+    let scan = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_extendedprice", "l_discount"],
+        pred,
+    );
+    let agg = global_agg(
+        scan,
+        vec![AggSpec::new(
+            AggFunc::Sum,
+            col("l_extendedprice").mul(col("l_discount")),
+            "revenue",
+        )],
+    );
+    Query::single(6, agg)
+}
+
+/// Q13 — customer order-count distribution. Left outer join feeding a
+/// double aggregation.
+pub fn q13() -> Query {
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey"],
+        col("o_comment").like("%special%requests%").not(),
+    )
+    .repartition(&["o_custkey"]);
+    let customer =
+        Plan::scan_cols(TpchTable::Customer, &["c_custkey"]).repartition(&["c_custkey"]);
+    let joined = customer.join(orders, &["c_custkey"], &["o_custkey"], JoinKind::LeftOuter);
+    // Already partitioned by c_custkey → local count per customer.
+    let per_customer = joined.aggregate(
+        &["c_custkey"],
+        vec![AggSpec::new(AggFunc::Count, col("o_orderkey"), "c_count")],
+    );
+    let distribution = dist_agg(
+        per_customer,
+        &["c_count"],
+        vec![AggSpec::new(AggFunc::Count, lit(1), "custdist")],
+    );
+    Query::single(
+        13,
+        distribution.gather().sort(
+            vec![SortKey::desc("custdist"), SortKey::desc("c_count")],
+            None,
+        ),
+    )
+}
+
+/// Q16 — parts/supplier relationship. `count(distinct)` forces a raw
+/// reshuffle (no pre-aggregation possible), plus an anti join against
+/// complained-about suppliers.
+pub fn q16() -> Query {
+    let part = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey", "p_brand", "p_type", "p_size"],
+        col("p_brand")
+            .eq(lits("Brand#45"))
+            .not()
+            .and(col("p_type").like("MEDIUM POLISHED%").not())
+            .and(col("p_size").in_i64(&[49, 14, 23, 45, 19, 3, 36, 9])),
+    )
+    .repartition(&["p_partkey"]);
+    let partsupp = Plan::scan_cols(TpchTable::Partsupp, &["ps_partkey", "ps_suppkey"])
+        .repartition(&["ps_partkey"]);
+    let complainers = Plan::scan_filtered(
+        TpchTable::Supplier,
+        &["s_suppkey"],
+        col("s_comment").like("%Customer%Complaints%"),
+    )
+    .broadcast();
+    let joined = partsupp
+        .join(part, &["ps_partkey"], &["p_partkey"], JoinKind::Inner)
+        .join(complainers, &["ps_suppkey"], &["s_suppkey"], JoinKind::LeftAnti);
+    let agg = dist_agg_nopre(
+        joined,
+        &["p_brand", "p_type", "p_size"],
+        vec![AggSpec::new(
+            AggFunc::CountDistinct,
+            col("ps_suppkey"),
+            "supplier_cnt",
+        )],
+    );
+    Query::single(
+        16,
+        agg.gather().sort(
+            vec![
+                SortKey::desc("supplier_cnt"),
+                SortKey::asc("p_brand"),
+                SortKey::asc("p_type"),
+                SortKey::asc("p_size"),
+            ],
+            None,
+        ),
+    )
+}
+
+/// Q1 variant without pre-aggregation, for the Figure 6(c) ablation bench.
+pub fn q1_no_preagg() -> Query {
+    let cutoff = date_from_ymd(1998, 12, 1) - 90;
+    let scan = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+        ],
+        col("l_shipdate").le(lit(cutoff)),
+    );
+    let disc_price = col("l_extendedprice").mul(litf(1.0).sub(col("l_discount")));
+    let charge = disc_price.clone().mul(litf(1.0).add(col("l_tax")));
+    let agg = dist_agg_nopre(
+        scan,
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            AggSpec::new(AggFunc::Sum, col("l_quantity"), "sum_qty"),
+            AggSpec::new(AggFunc::Sum, col("l_extendedprice"), "sum_base_price"),
+            AggSpec::new(AggFunc::Sum, disc_price, "sum_disc_price"),
+            AggSpec::new(AggFunc::Sum, charge, "sum_charge"),
+            AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty"),
+            AggSpec::new(AggFunc::Avg, col("l_extendedprice"), "avg_price"),
+            AggSpec::new(AggFunc::Avg, col("l_discount"), "avg_disc"),
+            AggSpec::new(AggFunc::Count, lit(1), "count_order"),
+        ],
+    );
+    Query::single(
+        1,
+        agg.gather().sort(
+            vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")],
+            None,
+        ),
+    )
+}

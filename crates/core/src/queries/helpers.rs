@@ -1,0 +1,91 @@
+//! Distributed-plan building blocks shared by the query definitions.
+
+use crate::plan::{AggPhase, AggSpec, Plan};
+
+/// Distributed aggregation with pre-aggregation (Figure 6(c)): local
+/// partial aggregation, reshuffle by group key, merge. This is the plan
+/// shape the paper's optimizer picks for aggregations with few groups.
+pub fn dist_agg(input: Plan, groups: &[&str], aggs: Vec<AggSpec>) -> Plan {
+    assert!(!groups.is_empty(), "use global_agg for grouping-free plans");
+    let partial = Plan::Aggregate {
+        input: Box::new(input),
+        group_by: groups.iter().map(|s| s.to_string()).collect(),
+        aggs: aggs.clone(),
+        phase: AggPhase::Partial,
+    };
+    Plan::Aggregate {
+        input: Box::new(partial.repartition(groups)),
+        group_by: groups.iter().map(|s| s.to_string()).collect(),
+        aggs,
+        phase: AggPhase::Final,
+    }
+}
+
+/// Distributed aggregation without pre-aggregation: reshuffle raw tuples
+/// by group key, then aggregate once. Required for `count(distinct …)` and
+/// used as the ablation baseline for the pre-aggregation optimization.
+pub fn dist_agg_nopre(input: Plan, groups: &[&str], aggs: Vec<AggSpec>) -> Plan {
+    Plan::Aggregate {
+        input: Box::new(input.repartition(groups)),
+        group_by: groups.iter().map(|s| s.to_string()).collect(),
+        aggs,
+        phase: AggPhase::Single,
+    }
+}
+
+/// Distributed grouping-free aggregation: local partials, gathered and
+/// merged at the coordinator. The result exists on node 0 only.
+pub fn global_agg(input: Plan, aggs: Vec<AggSpec>) -> Plan {
+    let partial = Plan::Aggregate {
+        input: Box::new(input),
+        group_by: Vec::new(),
+        aggs: aggs.clone(),
+        phase: AggPhase::Partial,
+    };
+    Plan::Aggregate {
+        input: Box::new(partial.gather()),
+        group_by: Vec::new(),
+        aggs,
+        phase: AggPhase::Final,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::AggFunc;
+    use hsqp_tpch::TpchTable;
+
+    #[test]
+    fn dist_agg_is_partial_exchange_final() {
+        let p = dist_agg(
+            Plan::scan(TpchTable::Lineitem),
+            &["l_returnflag"],
+            vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")],
+        );
+        match &p {
+            Plan::Aggregate { phase, input, .. } => {
+                assert_eq!(*phase, AggPhase::Final);
+                assert!(matches!(**input, Plan::Exchange { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.exchange_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "global_agg")]
+    fn dist_agg_rejects_empty_groups() {
+        dist_agg(Plan::scan(TpchTable::Lineitem), &[], vec![]);
+    }
+
+    #[test]
+    fn global_agg_gathers_partials() {
+        let p = global_agg(
+            Plan::scan(TpchTable::Lineitem),
+            vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "s")],
+        );
+        assert_eq!(p.exchange_count(), 1);
+    }
+}

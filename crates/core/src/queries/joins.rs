@@ -1,0 +1,583 @@
+//! Join-dominated TPC-H queries: 3, 5, 7, 8, 9, 10, 12, 14, 19.
+//!
+//! These are the queries whose scalability Figure 11 tracks most closely:
+//! they shuffle base relations and therefore live or die by the network.
+
+use hsqp_storage::date_from_ymd;
+use hsqp_tpch::TpchTable;
+
+use super::helpers::{dist_agg, global_agg};
+use super::Query;
+use crate::expr::{col, lit, litf, lits, Expr};
+use crate::plan::{AggFunc, AggSpec, JoinKind, MapExpr, Plan, SortKey};
+
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(litf(1.0).sub(col("l_discount")))
+}
+
+/// nation ⨝ region(name), projected to the nation key and a renamed nation
+/// name — broadcast-ready build side shared by several queries.
+fn nations_of_region(region: &str, key_alias: &str, name_alias: &str) -> Plan {
+    let region_scan = Plan::scan_filtered(
+        TpchTable::Region,
+        &["r_regionkey"],
+        col("r_name").eq(lits(region)),
+    );
+    Plan::scan_cols(TpchTable::Nation, &["n_nationkey", "n_name", "n_regionkey"])
+        .join(
+            region_scan.broadcast(),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            JoinKind::LeftSemi,
+        )
+        .map(vec![
+            MapExpr::new(key_alias, col("n_nationkey")),
+            MapExpr::new(name_alias, col("n_name")),
+        ])
+}
+
+/// Q3 — shipping priority. customer ⨝ orders ⨝ lineitem, top-10 revenue.
+pub fn q3() -> Query {
+    let cutoff = date_from_ymd(1995, 3, 15);
+    let customer = Plan::scan_filtered(
+        TpchTable::Customer,
+        &["c_custkey"],
+        col("c_mktsegment").eq(lits("BUILDING")),
+    )
+    .repartition(&["c_custkey"]);
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        col("o_orderdate").lt(lit(cutoff)),
+    )
+    .repartition(&["o_custkey"]);
+    let cust_orders = orders
+        .join(customer, &["o_custkey"], &["c_custkey"], JoinKind::LeftSemi)
+        .repartition(&["o_orderkey"]);
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+        col("l_shipdate").gt(lit(cutoff)),
+    )
+    .repartition(&["l_orderkey"]);
+    let joined = lineitem.join(cust_orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner);
+    // Partitioned by orderkey → grouping by it is node-local.
+    let agg = joined.aggregate(
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+    );
+    Query::single(
+        3,
+        agg.gather().sort(
+            vec![SortKey::desc("revenue"), SortKey::asc("o_orderdate")],
+            Some(10),
+        ),
+    )
+}
+
+/// Q5 — local supplier volume within ASIA.
+pub fn q5() -> Query {
+    let supp_nation = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
+        .join(
+            nations_of_region("ASIA", "sn_key", "sn_name").broadcast(),
+            &["s_nationkey"],
+            &["sn_key"],
+            JoinKind::Inner,
+        )
+        .map(vec![
+            MapExpr::new("supp_key", col("s_suppkey")),
+            MapExpr::new("supp_nationkey", col("s_nationkey")),
+            MapExpr::new("n_name", col("sn_name")),
+        ]);
+    let customer = Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_nationkey"])
+        .repartition(&["c_custkey"]);
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey"],
+        col("o_orderdate")
+            .ge(lit(date_from_ymd(1994, 1, 1)))
+            .and(col("o_orderdate").lt(lit(date_from_ymd(1995, 1, 1)))),
+    )
+    .repartition(&["o_custkey"]);
+    let cust_orders = orders
+        .join(customer, &["o_custkey"], &["c_custkey"], JoinKind::Inner)
+        .repartition(&["o_orderkey"]);
+    let lineitem = Plan::scan_cols(
+        TpchTable::Lineitem,
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )
+    .repartition(&["l_orderkey"]);
+    let with_orders = lineitem.join(
+        cust_orders,
+        &["l_orderkey"],
+        &["o_orderkey"],
+        JoinKind::Inner,
+    );
+    // Local-supplier condition: the supplying nation equals the customer's.
+    let joined = with_orders.join(
+        supp_nation.broadcast(),
+        &["l_suppkey", "c_nationkey"],
+        &["supp_key", "supp_nationkey"],
+        JoinKind::Inner,
+    );
+    let agg = dist_agg(
+        joined,
+        &["n_name"],
+        vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+    );
+    Query::single(
+        5,
+        agg.gather().sort(vec![SortKey::desc("revenue")], None),
+    )
+}
+
+/// Q7 — volume shipping between FRANCE and GERMANY.
+pub fn q7() -> Query {
+    let supp_nation = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
+        .join(
+            Plan::scan_filtered(
+                TpchTable::Nation,
+                &["n_nationkey", "n_name"],
+                col("n_name").in_str(&["FRANCE", "GERMANY"]),
+            )
+            .broadcast(),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            JoinKind::Inner,
+        )
+        .map(vec![
+            MapExpr::new("supp_key", col("s_suppkey")),
+            MapExpr::new("supp_nation", col("n_name")),
+        ]);
+    let cust_nation = Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_nationkey"])
+        .join(
+            Plan::scan_filtered(
+                TpchTable::Nation,
+                &["n_nationkey", "n_name"],
+                col("n_name").in_str(&["FRANCE", "GERMANY"]),
+            )
+            .broadcast(),
+            &["c_nationkey"],
+            &["n_nationkey"],
+            JoinKind::Inner,
+        )
+        .map(vec![
+            MapExpr::new("cust_key", col("c_custkey")),
+            MapExpr::new("cust_nation", col("n_name")),
+        ]);
+    let orders = Plan::scan_cols(TpchTable::Orders, &["o_orderkey", "o_custkey"])
+        .repartition(&["o_custkey"]);
+    let orders_cust = orders
+        .join(
+            cust_nation.repartition(&["cust_key"]),
+            &["o_custkey"],
+            &["cust_key"],
+            JoinKind::Inner,
+        )
+        .repartition(&["o_orderkey"]);
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &[
+            "l_orderkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ],
+        col("l_shipdate")
+            .ge(lit(date_from_ymd(1995, 1, 1)))
+            .and(col("l_shipdate").le(lit(date_from_ymd(1996, 12, 31)))),
+    )
+    .join(
+        supp_nation.broadcast(),
+        &["l_suppkey"],
+        &["supp_key"],
+        JoinKind::Inner,
+    )
+    .repartition(&["l_orderkey"]);
+    let joined = lineitem
+        .join(orders_cust, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .filter(
+            col("supp_nation")
+                .eq(lits("FRANCE"))
+                .and(col("cust_nation").eq(lits("GERMANY")))
+                .or(col("supp_nation")
+                    .eq(lits("GERMANY"))
+                    .and(col("cust_nation").eq(lits("FRANCE")))),
+        )
+        .map(vec![
+            MapExpr::new("supp_nation", col("supp_nation")),
+            MapExpr::new("cust_nation", col("cust_nation")),
+            MapExpr::new("l_year", col("l_shipdate").year()),
+            MapExpr::new("volume", revenue()),
+        ]);
+    let agg = dist_agg(
+        joined,
+        &["supp_nation", "cust_nation", "l_year"],
+        vec![AggSpec::new(AggFunc::Sum, col("volume"), "revenue")],
+    );
+    Query::single(
+        7,
+        agg.gather().sort(
+            vec![
+                SortKey::asc("supp_nation"),
+                SortKey::asc("cust_nation"),
+                SortKey::asc("l_year"),
+            ],
+            None,
+        ),
+    )
+}
+
+/// Q8 — national market share of BRAZIL within AMERICA.
+pub fn q8() -> Query {
+    let part = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey"],
+        col("p_type").eq(lits("ECONOMY ANODIZED STEEL")),
+    );
+    let supp_nation = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
+        .join(
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey", "n_name"]).broadcast(),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            JoinKind::Inner,
+        )
+        .map(vec![
+            MapExpr::new("supp_key", col("s_suppkey")),
+            MapExpr::new("supp_nation", col("n_name")),
+        ]);
+    let lineitem = Plan::scan_cols(
+        TpchTable::Lineitem,
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    )
+    .join(part.broadcast(), &["l_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    .join(
+        supp_nation.broadcast(),
+        &["l_suppkey"],
+        &["supp_key"],
+        JoinKind::Inner,
+    )
+    .repartition(&["l_orderkey"]);
+    let customer_america = Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_nationkey"])
+        .join(
+            nations_of_region("AMERICA", "cn_key", "cn_name").broadcast(),
+            &["c_nationkey"],
+            &["cn_key"],
+            JoinKind::LeftSemi,
+        )
+        .repartition(&["c_custkey"]);
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        col("o_orderdate")
+            .ge(lit(date_from_ymd(1995, 1, 1)))
+            .and(col("o_orderdate").le(lit(date_from_ymd(1996, 12, 31)))),
+    )
+    .repartition(&["o_custkey"])
+    .join(
+        customer_america,
+        &["o_custkey"],
+        &["c_custkey"],
+        JoinKind::LeftSemi,
+    )
+    .repartition(&["o_orderkey"]);
+    let joined = lineitem
+        .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .map(vec![
+            MapExpr::new("o_year", col("o_orderdate").year()),
+            MapExpr::new("volume", revenue()),
+            MapExpr::new(
+                "brazil_volume",
+                col("supp_nation")
+                    .eq(lits("BRAZIL"))
+                    .case(revenue(), litf(0.0)),
+            ),
+        ]);
+    let agg = dist_agg(
+        joined,
+        &["o_year"],
+        vec![
+            AggSpec::new(AggFunc::Sum, col("brazil_volume"), "brazil"),
+            AggSpec::new(AggFunc::Sum, col("volume"), "total"),
+        ],
+    );
+    let share = agg.map(vec![
+        MapExpr::new("o_year", col("o_year")),
+        MapExpr::new("mkt_share", col("brazil").div(col("total"))),
+    ]);
+    Query::single(8, share.gather().sort(vec![SortKey::asc("o_year")], None))
+}
+
+/// Q9 — product-type profit measure across all nations and years.
+pub fn q9() -> Query {
+    let part = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey"],
+        col("p_name").like("%green%"),
+    )
+    .repartition(&["p_partkey"]);
+    let supp_nation = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
+        .join(
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey", "n_name"]).broadcast(),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            JoinKind::Inner,
+        )
+        .map(vec![
+            MapExpr::new("supp_key", col("s_suppkey")),
+            MapExpr::new("nation", col("n_name")),
+        ]);
+    let partsupp = Plan::scan_cols(
+        TpchTable::Partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )
+    .repartition(&["ps_partkey"]);
+    let lineitem = Plan::scan_cols(
+        TpchTable::Lineitem,
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    )
+    .repartition(&["l_partkey"])
+    .join(part, &["l_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    // Co-partitioned on partkey; the two-column key refines it locally.
+    .join(
+        partsupp,
+        &["l_partkey", "l_suppkey"],
+        &["ps_partkey", "ps_suppkey"],
+        JoinKind::Inner,
+    )
+    .join(
+        supp_nation.broadcast(),
+        &["l_suppkey"],
+        &["supp_key"],
+        JoinKind::Inner,
+    )
+    .repartition(&["l_orderkey"]);
+    let orders =
+        Plan::scan_cols(TpchTable::Orders, &["o_orderkey", "o_orderdate"]).repartition(&["o_orderkey"]);
+    let joined = lineitem
+        .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .map(vec![
+            MapExpr::new("nation", col("nation")),
+            MapExpr::new("o_year", col("o_orderdate").year()),
+            MapExpr::new(
+                "amount",
+                revenue().sub(col("ps_supplycost").mul(col("l_quantity"))),
+            ),
+        ]);
+    let agg = dist_agg(
+        joined,
+        &["nation", "o_year"],
+        vec![AggSpec::new(AggFunc::Sum, col("amount"), "sum_profit")],
+    );
+    Query::single(
+        9,
+        agg.gather().sort(
+            vec![SortKey::asc("nation"), SortKey::desc("o_year")],
+            None,
+        ),
+    )
+}
+
+/// Q10 — returned-item reporting, top 20 customers by lost revenue.
+pub fn q10() -> Query {
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey"],
+        col("o_orderdate")
+            .ge(lit(date_from_ymd(1993, 10, 1)))
+            .and(col("o_orderdate").lt(lit(date_from_ymd(1994, 1, 1)))),
+    )
+    .repartition(&["o_orderkey"]);
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+        col("l_returnflag").eq(lits("R")),
+    )
+    .repartition(&["l_orderkey"]);
+    let with_orders = lineitem
+        .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .repartition(&["o_custkey"]);
+    let customer = Plan::scan_cols(
+        TpchTable::Customer,
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_nationkey",
+            "c_address",
+            "c_comment",
+        ],
+    )
+    .join(
+        Plan::scan_cols(TpchTable::Nation, &["n_nationkey", "n_name"]).broadcast(),
+        &["c_nationkey"],
+        &["n_nationkey"],
+        JoinKind::Inner,
+    )
+    .repartition(&["c_custkey"]);
+    let joined = with_orders.join(customer, &["o_custkey"], &["c_custkey"], JoinKind::Inner);
+    let agg = joined.aggregate(
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
+        ],
+        vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+    );
+    Query::single(
+        10,
+        agg.gather()
+            .sort(vec![SortKey::desc("revenue")], Some(20)),
+    )
+}
+
+/// Q12 — shipping modes and order priority.
+pub fn q12() -> Query {
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_orderkey", "l_shipmode"],
+        col("l_shipmode")
+            .in_str(&["MAIL", "SHIP"])
+            .and(col("l_commitdate").lt(col("l_receiptdate")))
+            .and(col("l_shipdate").lt(col("l_commitdate")))
+            .and(col("l_receiptdate").ge(lit(date_from_ymd(1994, 1, 1))))
+            .and(col("l_receiptdate").lt(lit(date_from_ymd(1995, 1, 1)))),
+    )
+    .repartition(&["l_orderkey"]);
+    let orders = Plan::scan_cols(TpchTable::Orders, &["o_orderkey", "o_orderpriority"])
+        .repartition(&["o_orderkey"]);
+    let joined = lineitem
+        .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .map(vec![
+            MapExpr::new("l_shipmode", col("l_shipmode")),
+            MapExpr::new(
+                "high_line",
+                col("o_orderpriority")
+                    .in_str(&["1-URGENT", "2-HIGH"])
+                    .case(lit(1), lit(0)),
+            ),
+            MapExpr::new(
+                "low_line",
+                col("o_orderpriority")
+                    .in_str(&["1-URGENT", "2-HIGH"])
+                    .not()
+                    .case(lit(1), lit(0)),
+            ),
+        ]);
+    let agg = dist_agg(
+        joined,
+        &["l_shipmode"],
+        vec![
+            AggSpec::new(AggFunc::Sum, col("high_line"), "high_line_count"),
+            AggSpec::new(AggFunc::Sum, col("low_line"), "low_line_count"),
+        ],
+    );
+    Query::single(
+        12,
+        agg.gather().sort(vec![SortKey::asc("l_shipmode")], None),
+    )
+}
+
+/// Q14 — promotion effect within one month.
+pub fn q14() -> Query {
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_partkey", "l_extendedprice", "l_discount"],
+        col("l_shipdate")
+            .ge(lit(date_from_ymd(1995, 9, 1)))
+            .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 10, 1)))),
+    )
+    .repartition(&["l_partkey"]);
+    let part = Plan::scan_cols(TpchTable::Part, &["p_partkey", "p_type"])
+        .repartition(&["p_partkey"]);
+    let joined = lineitem
+        .join(part, &["l_partkey"], &["p_partkey"], JoinKind::Inner)
+        .map(vec![
+            MapExpr::new(
+                "promo",
+                col("p_type").like("PROMO%").case(revenue(), litf(0.0)),
+            ),
+            MapExpr::new("rev", revenue()),
+        ]);
+    let agg = global_agg(
+        joined,
+        vec![
+            AggSpec::new(AggFunc::Sum, col("promo"), "promo_sum"),
+            AggSpec::new(AggFunc::Sum, col("rev"), "rev_sum"),
+        ],
+    );
+    let pct = agg.map(vec![MapExpr::new(
+        "promo_revenue",
+        litf(100.0).mul(col("promo_sum")).div(col("rev_sum")),
+    )]);
+    Query::single(14, pct)
+}
+
+/// Q19 — discounted revenue, a disjunction of three brand/container/
+/// quantity windows evaluated after a partkey join.
+pub fn q19() -> Query {
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_partkey", "l_quantity", "l_extendedprice", "l_discount"],
+        col("l_shipmode")
+            .in_str(&["AIR", "REG AIR"])
+            .and(col("l_shipinstruct").eq(lits("DELIVER IN PERSON"))),
+    )
+    .repartition(&["l_partkey"]);
+    let part = Plan::scan_cols(
+        TpchTable::Part,
+        &["p_partkey", "p_brand", "p_container", "p_size"],
+    )
+    .repartition(&["p_partkey"]);
+    let window = |brand: &str, containers: &[&str], qlo: f64, qhi: f64, smax: i64| {
+        col("p_brand")
+            .eq(lits(brand))
+            .and(col("p_container").in_str(containers))
+            .and(col("l_quantity").ge(litf(qlo)))
+            .and(col("l_quantity").le(litf(qhi)))
+            .and(col("p_size").between(lit(1), lit(smax)))
+    };
+    let joined = lineitem
+        .join(part, &["l_partkey"], &["p_partkey"], JoinKind::Inner)
+        .filter(
+            window("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+                .or(window(
+                    "Brand#23",
+                    &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                    10.0,
+                    20.0,
+                    10,
+                ))
+                .or(window(
+                    "Brand#34",
+                    &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                    20.0,
+                    30.0,
+                    15,
+                )),
+        );
+    let agg = global_agg(
+        joined,
+        vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+    );
+    Query::single(19, agg)
+}

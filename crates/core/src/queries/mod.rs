@@ -1,0 +1,115 @@
+//! Hand-built distributed physical plans for all 22 TPC-H queries.
+//!
+//! Plans follow the shape of Figure 6: unnested single-server plans with
+//! exchange operators inserted where tuples must cross servers, plus the
+//! two classic optimizations — broadcasting small join inputs instead of
+//! hash-partitioning both sides, and pre-aggregation before reshuffling
+//! group-by results. Correlated subqueries are manually decorrelated the
+//! way HyPer's optimizer unnests them; scalar subqueries (e.g. Q17's
+//! per-part average) become earlier *stages* whose first result row binds
+//! [`Expr::Param`] values for the final stage.
+
+use crate::error::EngineError;
+use crate::plan::Plan;
+
+mod aggregates;
+mod helpers;
+
+pub use aggregates::q1_no_preagg;
+pub use helpers::{dist_agg, dist_agg_nopre, global_agg};
+mod joins;
+mod subqueries;
+
+/// A multi-stage query: every stage before the last contributes its first
+/// result row as parameters to subsequent stages.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Stages in execution order; the last produces the result.
+    pub stages: Vec<Plan>,
+    /// TPC-H query number (1–22), for reporting.
+    pub number: u32,
+}
+
+impl Query {
+    /// Single-stage query.
+    pub fn single(number: u32, plan: Plan) -> Self {
+        Self {
+            stages: vec![plan],
+            number,
+        }
+    }
+
+    /// Multi-stage query.
+    pub fn staged(number: u32, stages: Vec<Plan>) -> Self {
+        assert!(!stages.is_empty(), "query needs at least one stage");
+        Self { stages, number }
+    }
+}
+
+/// Build the distributed plan for TPC-H query `n` (1–22).
+pub fn tpch_query(n: u32) -> Result<Query, EngineError> {
+    let q = match n {
+        1 => aggregates::q1(),
+        2 => subqueries::q2(),
+        3 => joins::q3(),
+        4 => subqueries::q4(),
+        5 => joins::q5(),
+        6 => aggregates::q6(),
+        7 => joins::q7(),
+        8 => joins::q8(),
+        9 => joins::q9(),
+        10 => joins::q10(),
+        11 => subqueries::q11(),
+        12 => joins::q12(),
+        13 => aggregates::q13(),
+        14 => joins::q14(),
+        15 => subqueries::q15(),
+        16 => aggregates::q16(),
+        17 => subqueries::q17(),
+        18 => subqueries::q18(),
+        19 => joins::q19(),
+        20 => subqueries::q20(),
+        21 => subqueries::q21(),
+        22 => subqueries::q22(),
+        _ => return Err(EngineError::UnknownQuery(n)),
+    };
+    Ok(q)
+}
+
+/// All 22 query numbers.
+pub const ALL_QUERIES: [u32; 22] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        for n in ALL_QUERIES {
+            let q = tpch_query(n).unwrap();
+            assert_eq!(q.number, n);
+            assert!(!q.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_query_rejected() {
+        assert_eq!(tpch_query(0).unwrap_err(), EngineError::UnknownQuery(0));
+        assert_eq!(tpch_query(23).unwrap_err(), EngineError::UnknownQuery(23));
+    }
+
+    #[test]
+    fn every_query_gathers_at_the_coordinator() {
+        for n in ALL_QUERIES {
+            let q = tpch_query(n).unwrap();
+            for stage in &q.stages {
+                assert!(
+                    stage.exchange_count() > 0,
+                    "query {n} stage has no exchange (cannot gather)"
+                );
+            }
+        }
+    }
+}

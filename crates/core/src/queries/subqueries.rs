@@ -1,0 +1,519 @@
+//! TPC-H queries with (correlated) subqueries: 2, 4, 11, 15, 17, 18, 20,
+//! 21, 22 — manually decorrelated into joins, aggregations, and parameter
+//! stages, the way HyPer's unnesting rewrites them.
+
+use hsqp_storage::date_from_ymd;
+use hsqp_tpch::TpchTable;
+
+use super::helpers::{dist_agg, dist_agg_nopre, global_agg};
+use super::Query;
+use crate::expr::{col, lit, litf, lits, Expr};
+use crate::plan::{AggFunc, AggSpec, JoinKind, MapExpr, Plan, SortKey};
+
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(litf(1.0).sub(col("l_discount")))
+}
+
+/// partsupp ⨝ EUROPE suppliers with supplier details, partitioned by
+/// partkey; shared by both uses inside Q2.
+fn q2_eur_partsupp() -> Plan {
+    let eur_nations = Plan::scan_cols(TpchTable::Nation, &["n_nationkey", "n_name", "n_regionkey"])
+        .join(
+            Plan::scan_filtered(
+                TpchTable::Region,
+                &["r_regionkey"],
+                col("r_name").eq(lits("EUROPE")),
+            )
+            .broadcast(),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            JoinKind::LeftSemi,
+        );
+    let eur_supp = Plan::scan_cols(
+        TpchTable::Supplier,
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
+    )
+    .join(
+        eur_nations.broadcast(),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        JoinKind::Inner,
+    );
+    Plan::scan_cols(TpchTable::Partsupp, &["ps_partkey", "ps_suppkey", "ps_supplycost"])
+        .repartition(&["ps_partkey"])
+        .join(
+            eur_supp.broadcast(),
+            &["ps_suppkey"],
+            &["s_suppkey"],
+            JoinKind::Inner,
+        )
+        // The cost must become a float so it can equi-join against the
+        // MIN() aggregate below (same doubles, bit-identical).
+        .map(vec![
+            MapExpr::new("ps_partkey", col("ps_partkey")),
+            MapExpr::new("cost", col("ps_supplycost")),
+            MapExpr::new("s_acctbal", col("s_acctbal")),
+            MapExpr::new("s_name", col("s_name")),
+            MapExpr::new("n_name", col("n_name")),
+            MapExpr::new("s_address", col("s_address")),
+            MapExpr::new("s_phone", col("s_phone")),
+            MapExpr::new("s_comment", col("s_comment")),
+        ])
+}
+
+/// Q2 — minimum-cost supplier. The correlated `min(ps_supplycost)` becomes
+/// a per-part aggregate joined back on (partkey, cost).
+pub fn q2() -> Query {
+    let part = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey", "p_mfgr"],
+        col("p_size")
+            .eq(lit(15))
+            .and(col("p_type").like("%BRASS")),
+    )
+    .repartition(&["p_partkey"]);
+    let candidates = q2_eur_partsupp()
+        .join(part, &["ps_partkey"], &["p_partkey"], JoinKind::Inner);
+    // Per-part minimum over the same candidate set (already co-partitioned
+    // by partkey, so the aggregate is node-local).
+    let min_cost = candidates
+        .clone()
+        .aggregate(
+            &["ps_partkey"],
+            vec![AggSpec::new(AggFunc::Min, col("cost"), "min_cost")],
+        )
+        .map(vec![
+            MapExpr::new("mc_partkey", col("ps_partkey")),
+            MapExpr::new("mc_cost", col("min_cost")),
+        ]);
+    let best = candidates.join(
+        min_cost,
+        &["ps_partkey", "cost"],
+        &["mc_partkey", "mc_cost"],
+        JoinKind::LeftSemi,
+    );
+    Query::single(
+        2,
+        best.gather().sort(
+            vec![
+                SortKey::desc("s_acctbal"),
+                SortKey::asc("n_name"),
+                SortKey::asc("s_name"),
+                SortKey::asc("ps_partkey"),
+            ],
+            Some(100),
+        ),
+    )
+}
+
+/// Q4 — order priority checking: EXISTS becomes a semi join.
+pub fn q4() -> Query {
+    let orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey", "o_orderpriority"],
+        col("o_orderdate")
+            .ge(lit(date_from_ymd(1993, 7, 1)))
+            .and(col("o_orderdate").lt(lit(date_from_ymd(1993, 10, 1)))),
+    )
+    .repartition(&["o_orderkey"]);
+    let late_lines = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_orderkey"],
+        col("l_commitdate").lt(col("l_receiptdate")),
+    )
+    .repartition(&["l_orderkey"]);
+    let matched = orders.join(late_lines, &["o_orderkey"], &["l_orderkey"], JoinKind::LeftSemi);
+    let agg = dist_agg(
+        matched,
+        &["o_orderpriority"],
+        vec![AggSpec::new(AggFunc::Count, lit(1), "order_count")],
+    );
+    Query::single(
+        4,
+        agg.gather()
+            .sort(vec![SortKey::asc("o_orderpriority")], None),
+    )
+}
+
+fn q11_germany_partsupp() -> Plan {
+    let german_supp = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
+        .join(
+            Plan::scan_filtered(
+                TpchTable::Nation,
+                &["n_nationkey"],
+                col("n_name").eq(lits("GERMANY")),
+            )
+            .broadcast(),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            JoinKind::LeftSemi,
+        );
+    Plan::scan_cols(
+        TpchTable::Partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+    )
+    .join(
+        german_supp.broadcast(),
+        &["ps_suppkey"],
+        &["s_suppkey"],
+        JoinKind::LeftSemi,
+    )
+    .map(vec![
+        MapExpr::new("ps_partkey", col("ps_partkey")),
+        MapExpr::new("stock_value", col("ps_supplycost").mul(col("ps_availqty"))),
+    ])
+}
+
+/// Q11 — important stock identification. Stage 1 computes the global stock
+/// value (the HAVING threshold); stage 2 filters groups against it.
+pub fn q11() -> Query {
+    let total = global_agg(
+        q11_germany_partsupp(),
+        vec![AggSpec::new(AggFunc::Sum, col("stock_value"), "total")],
+    );
+    let per_part = dist_agg(
+        q11_germany_partsupp(),
+        &["ps_partkey"],
+        vec![AggSpec::new(AggFunc::Sum, col("stock_value"), "value")],
+    )
+    .filter(col("value").gt(Expr::Param(0).mul(litf(0.0001))))
+    .gather()
+    .sort(vec![SortKey::desc("value")], None);
+    Query::staged(11, vec![total, per_part])
+}
+
+fn q15_revenue_view() -> Plan {
+    let lineitem = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_suppkey", "l_extendedprice", "l_discount"],
+        col("l_shipdate")
+            .ge(lit(date_from_ymd(1996, 1, 1)))
+            .and(col("l_shipdate").lt(lit(date_from_ymd(1996, 4, 1)))),
+    );
+    dist_agg(
+        lineitem,
+        &["l_suppkey"],
+        vec![AggSpec::new(AggFunc::Sum, revenue(), "total_revenue")],
+    )
+}
+
+/// Q15 — top supplier. Stage 1 finds the maximum view revenue; stage 2
+/// re-derives the view and keeps the supplier(s) within float epsilon of
+/// the maximum (distributed f64 summation is order-sensitive).
+pub fn q15() -> Query {
+    let max_rev = global_agg(
+        q15_revenue_view(),
+        vec![AggSpec::new(AggFunc::Max, col("total_revenue"), "max_rev")],
+    );
+    let winners = q15_revenue_view()
+        .filter(
+            col("total_revenue")
+                .ge(Expr::Param(0).sub(litf(0.01)))
+                .and(col("total_revenue").le(Expr::Param(0).add(litf(0.01)))),
+        )
+        .repartition(&["l_suppkey"]);
+    let supplier = Plan::scan_cols(
+        TpchTable::Supplier,
+        &["s_suppkey", "s_name", "s_address", "s_phone"],
+    )
+    .repartition(&["s_suppkey"]);
+    let joined = supplier.join(
+        winners,
+        &["s_suppkey"],
+        &["l_suppkey"],
+        JoinKind::Inner,
+    );
+    Query::staged(
+        15,
+        vec![
+            max_rev,
+            joined.gather().sort(vec![SortKey::asc("s_suppkey")], None),
+        ],
+    )
+}
+
+/// Q17 — small-quantity-order revenue. The correlated AVG becomes a
+/// per-part aggregate joined back on partkey.
+pub fn q17() -> Query {
+    let avg_qty = dist_agg(
+        Plan::scan_cols(TpchTable::Lineitem, &["l_partkey", "l_quantity"]),
+        &["l_partkey"],
+        vec![AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty")],
+    )
+    .map(vec![
+        MapExpr::new("ap_partkey", col("l_partkey")),
+        MapExpr::new("threshold", litf(0.2).mul(col("avg_qty"))),
+    ]);
+    let part = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey"],
+        col("p_brand")
+            .eq(lits("Brand#23"))
+            .and(col("p_container").eq(lits("MED BOX"))),
+    )
+    .repartition(&["p_partkey"]);
+    let lineitem = Plan::scan_cols(
+        TpchTable::Lineitem,
+        &["l_partkey", "l_quantity", "l_extendedprice"],
+    )
+    .repartition(&["l_partkey"])
+    .join(part, &["l_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    // avg_qty is partitioned by l_partkey as well — co-partitioned join.
+    .join(avg_qty, &["l_partkey"], &["ap_partkey"], JoinKind::Inner)
+    .filter(col("l_quantity").lt(col("threshold")));
+    let agg = global_agg(
+        lineitem,
+        vec![AggSpec::new(AggFunc::Sum, col("l_extendedprice"), "sum_price")],
+    );
+    let yearly = agg.map(vec![MapExpr::new(
+        "avg_yearly",
+        col("sum_price").div(litf(7.0)),
+    )]);
+    Query::single(17, yearly)
+}
+
+/// Q18 — large-volume customers (top 100 by order value).
+pub fn q18() -> Query {
+    let big_orders = dist_agg(
+        Plan::scan_cols(TpchTable::Lineitem, &["l_orderkey", "l_quantity"]),
+        &["l_orderkey"],
+        vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "sum_qty")],
+    )
+    .filter(col("sum_qty").gt(litf(300.0)));
+    let orders = Plan::scan_cols(
+        TpchTable::Orders,
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
+    )
+    .repartition(&["o_orderkey"])
+    // big_orders is partitioned by l_orderkey — co-partitioned.
+    .join(big_orders, &["o_orderkey"], &["l_orderkey"], JoinKind::Inner)
+    .repartition(&["o_custkey"]);
+    let customer = Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_name"])
+        .repartition(&["c_custkey"]);
+    let joined = orders.join(customer, &["o_custkey"], &["c_custkey"], JoinKind::Inner);
+    Query::single(
+        18,
+        joined.gather().sort(
+            vec![SortKey::desc("o_totalprice"), SortKey::asc("o_orderdate")],
+            Some(100),
+        ),
+    )
+}
+
+/// Q20 — potential part promotion: nested IN subqueries become semi joins
+/// against aggregated shipment volumes.
+pub fn q20() -> Query {
+    let shipped = dist_agg(
+        Plan::scan_filtered(
+            TpchTable::Lineitem,
+            &["l_partkey", "l_suppkey", "l_quantity"],
+            col("l_shipdate")
+                .ge(lit(date_from_ymd(1994, 1, 1)))
+                .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 1, 1)))),
+        )
+        .map(vec![
+            MapExpr::new("l_partkey", col("l_partkey")),
+            MapExpr::new("l_suppkey", col("l_suppkey")),
+            MapExpr::new("l_quantity", col("l_quantity")),
+        ]),
+        &["l_partkey", "l_suppkey"],
+        vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "shipped_qty")],
+    )
+    .map(vec![
+        MapExpr::new("sq_partkey", col("l_partkey")),
+        MapExpr::new("sq_suppkey", col("l_suppkey")),
+        MapExpr::new("half_qty", litf(0.5).mul(col("shipped_qty"))),
+    ]);
+    let forest_parts = Plan::scan_filtered(
+        TpchTable::Part,
+        &["p_partkey"],
+        col("p_name").like("forest%"),
+    )
+    .broadcast();
+    let candidates = Plan::scan_cols(
+        TpchTable::Partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_availqty"],
+    )
+    .join(forest_parts, &["ps_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    .repartition(&["ps_partkey", "ps_suppkey"])
+    .join(
+        shipped,
+        &["ps_partkey", "ps_suppkey"],
+        &["sq_partkey", "sq_suppkey"],
+        JoinKind::Inner,
+    )
+    .filter(col("ps_availqty").gt(col("half_qty")))
+    // DISTINCT supplier keys before the final semi join.
+    .aggregate(
+        &["ps_suppkey"],
+        vec![AggSpec::new(AggFunc::Count, lit(1), "hits")],
+    )
+    .repartition(&["ps_suppkey"]);
+    let canada_supp = Plan::scan_cols(
+        TpchTable::Supplier,
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+    )
+    .join(
+        Plan::scan_filtered(
+            TpchTable::Nation,
+            &["n_nationkey"],
+            col("n_name").eq(lits("CANADA")),
+        )
+        .broadcast(),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        JoinKind::LeftSemi,
+    )
+    .repartition(&["s_suppkey"]);
+    let result = canada_supp.join(
+        candidates,
+        &["s_suppkey"],
+        &["ps_suppkey"],
+        JoinKind::LeftSemi,
+    );
+    Query::single(
+        20,
+        result.gather().sort(vec![SortKey::asc("s_name")], None),
+    )
+}
+
+/// Q21 — suppliers who kept orders waiting. The EXISTS / NOT EXISTS pair
+/// over other suppliers of the same order reduces to distinct-supplier
+/// counts per order: the late line's supplier is at fault iff the order
+/// has ≥ 2 suppliers in total and exactly 1 supplier with late lines.
+pub fn q21() -> Query {
+    let all_supp = dist_agg_nopre(
+        Plan::scan_cols(TpchTable::Lineitem, &["l_orderkey", "l_suppkey"]).map(vec![
+            MapExpr::new("ao_orderkey", col("l_orderkey")),
+            MapExpr::new("ao_suppkey", col("l_suppkey")),
+        ]),
+        &["ao_orderkey"],
+        vec![AggSpec::new(
+            AggFunc::CountDistinct,
+            col("ao_suppkey"),
+            "n_supp",
+        )],
+    );
+    let late_supp = dist_agg_nopre(
+        Plan::scan_filtered(
+            TpchTable::Lineitem,
+            &["l_orderkey", "l_suppkey"],
+            col("l_receiptdate").gt(col("l_commitdate")),
+        )
+        .map(vec![
+            MapExpr::new("lo_orderkey", col("l_orderkey")),
+            MapExpr::new("lo_suppkey", col("l_suppkey")),
+        ]),
+        &["lo_orderkey"],
+        vec![AggSpec::new(
+            AggFunc::CountDistinct,
+            col("lo_suppkey"),
+            "n_late_supp",
+        )],
+    );
+    let saudi_supp = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_name", "s_nationkey"])
+        .join(
+            Plan::scan_filtered(
+                TpchTable::Nation,
+                &["n_nationkey"],
+                col("n_name").eq(lits("SAUDI ARABIA")),
+            )
+            .broadcast(),
+            &["s_nationkey"],
+            &["n_nationkey"],
+            JoinKind::LeftSemi,
+        );
+    let f_orders = Plan::scan_filtered(
+        TpchTable::Orders,
+        &["o_orderkey"],
+        col("o_orderstatus").eq(lits("F")),
+    )
+    .repartition(&["o_orderkey"]);
+    let late_lines = Plan::scan_filtered(
+        TpchTable::Lineitem,
+        &["l_orderkey", "l_suppkey"],
+        col("l_receiptdate").gt(col("l_commitdate")),
+    )
+    .join(
+        saudi_supp.broadcast(),
+        &["l_suppkey"],
+        &["s_suppkey"],
+        JoinKind::Inner,
+    )
+    .repartition(&["l_orderkey"]);
+    let joined = late_lines
+        .join(f_orders, &["l_orderkey"], &["o_orderkey"], JoinKind::LeftSemi)
+        // all_supp / late_supp are partitioned by orderkey — co-partitioned.
+        .join(all_supp, &["l_orderkey"], &["ao_orderkey"], JoinKind::Inner)
+        .join(late_supp, &["l_orderkey"], &["lo_orderkey"], JoinKind::Inner)
+        .filter(col("n_supp").gt(lit(1)).and(col("n_late_supp").eq(lit(1))));
+    let agg = dist_agg(
+        joined,
+        &["s_name"],
+        vec![AggSpec::new(AggFunc::Count, lit(1), "numwait")],
+    );
+    Query::single(
+        21,
+        agg.gather().sort(
+            vec![SortKey::desc("numwait"), SortKey::asc("s_name")],
+            Some(100),
+        ),
+    )
+}
+
+const Q22_CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
+
+/// Q22 — global sales opportunity. Stage 1 computes the average positive
+/// account balance; stage 2 anti-joins orders away and groups by country
+/// code.
+pub fn q22() -> Query {
+    let avg_bal = global_agg(
+        Plan::scan_filtered(
+            TpchTable::Customer,
+            &["c_acctbal"],
+            col("c_phone")
+                .substr(1, 2)
+                .in_str(&Q22_CODES)
+                .and(col("c_acctbal").gt(litf(0.0))),
+        ),
+        vec![AggSpec::new(AggFunc::Avg, col("c_acctbal"), "avg_bal")],
+    );
+    let customers = Plan::scan_filtered(
+        TpchTable::Customer,
+        &["c_custkey", "c_phone", "c_acctbal"],
+        col("c_phone").substr(1, 2).in_str(&Q22_CODES),
+    )
+    .filter(col("c_acctbal").gt(Expr::Param(0)))
+    .repartition(&["c_custkey"]);
+    let orders =
+        Plan::scan_cols(TpchTable::Orders, &["o_custkey"]).repartition(&["o_custkey"]);
+    let no_orders = customers
+        .join(orders, &["c_custkey"], &["o_custkey"], JoinKind::LeftAnti)
+        .map(vec![
+            MapExpr::new("cntrycode", col("c_phone").substr(1, 2)),
+            MapExpr::new("c_acctbal", col("c_acctbal")),
+        ]);
+    let agg = dist_agg(
+        no_orders,
+        &["cntrycode"],
+        vec![
+            AggSpec::new(AggFunc::Count, lit(1), "numcust"),
+            AggSpec::new(AggFunc::Sum, col("c_acctbal"), "totacctbal"),
+        ],
+    );
+    Query::staged(
+        22,
+        vec![
+            avg_bal,
+            agg.gather().sort(vec![SortKey::asc("cntrycode")], None),
+        ],
+    )
+}

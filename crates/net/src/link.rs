@@ -1,0 +1,154 @@
+//! Network data-link standards (Table 1 of the paper).
+
+use std::fmt;
+use std::time::Duration;
+
+/// A network link standard with its theoretical bandwidth and latency.
+///
+/// These are the rows of Table 1. Bandwidth is in bytes per second of
+/// *usable* link capacity; latency is the one-way propagation latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    name: &'static str,
+    bytes_per_sec: f64,
+    latency: Duration,
+    year: u16,
+}
+
+impl LinkSpec {
+    /// Gigabit Ethernet: 0.125 GB/s, 340 µs latency (1998).
+    pub const GBE: LinkSpec = LinkSpec::new("GbE", 0.125e9, Duration::from_micros(340), 1998);
+    /// InfiniBand 4×SDR: 1 GB/s, 5 µs latency (2003).
+    pub const IB_4X_SDR: LinkSpec = LinkSpec::new("4xSDR", 1.0e9, Duration::from_micros(5), 2003);
+    /// InfiniBand 4×DDR: 2 GB/s, 2.5 µs latency (2005).
+    pub const IB_4X_DDR: LinkSpec =
+        LinkSpec::new("4xDDR", 2.0e9, Duration::from_nanos(2500), 2005);
+    /// InfiniBand 4×QDR: 4 GB/s, 1.3 µs latency (2007) — the paper's cluster.
+    pub const IB_4X_QDR: LinkSpec =
+        LinkSpec::new("4xQDR", 4.0e9, Duration::from_nanos(1300), 2007);
+    /// InfiniBand 4×FDR: 6.8 GB/s, 0.7 µs latency (2011).
+    pub const IB_4X_FDR: LinkSpec = LinkSpec::new("4xFDR", 6.8e9, Duration::from_nanos(700), 2011);
+    /// InfiniBand 4×EDR: 12.1 GB/s, 0.5 µs latency (2014).
+    pub const IB_4X_EDR: LinkSpec =
+        LinkSpec::new("4xEDR", 12.1e9, Duration::from_nanos(500), 2014);
+
+    /// All standards of Table 1 in introduction order.
+    pub const TABLE1: [LinkSpec; 6] = [
+        Self::GBE,
+        Self::IB_4X_SDR,
+        Self::IB_4X_DDR,
+        Self::IB_4X_QDR,
+        Self::IB_4X_FDR,
+        Self::IB_4X_EDR,
+    ];
+
+    const fn new(name: &'static str, bytes_per_sec: f64, latency: Duration, year: u16) -> Self {
+        Self {
+            name,
+            bytes_per_sec,
+            latency,
+            year,
+        }
+    }
+
+    /// Create a custom link (e.g. for scaled-down testing).
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is not a positive finite number.
+    pub fn custom(bytes_per_sec: f64, latency: Duration) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        Self::new("custom", bytes_per_sec, latency, 0)
+    }
+
+    /// Human-readable standard name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Usable bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Bandwidth in GB/s (as Table 1 reports it).
+    pub fn gb_per_sec(&self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Year of introduction (0 for custom links).
+    pub fn year(&self) -> u16 {
+        self.year
+    }
+
+    /// Time on the wire for a message of `bytes` (excluding latency).
+    pub fn wire_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Bandwidth ratio of `self` over `other`.
+    pub fn speedup_over(&self, other: &LinkSpec) -> f64 {
+        self.bytes_per_sec / other.bytes_per_sec
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:.3} GB/s)", self.name, self.gb_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_is_32x_gbe() {
+        // "InfiniBand 4×QDR offers 32× the bandwidth of Gigabit Ethernet."
+        let ratio = LinkSpec::IB_4X_QDR.speedup_over(&LinkSpec::GBE);
+        assert!((ratio - 32.0).abs() < 1e-9, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn table1_is_ordered_by_year() {
+        let years: Vec<_> = LinkSpec::TABLE1.iter().map(|l| l.year()).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted);
+    }
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let l = LinkSpec::IB_4X_QDR;
+        let t1 = l.wire_time(512 * 1024);
+        let t2 = l.wire_time(1024 * 1024);
+        assert!((t2.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 1e-9);
+        // 512 KB at 4 GB/s is ~131 µs.
+        assert!((t1.as_secs_f64() - 131.072e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(LinkSpec::GBE.latency(), Duration::from_micros(340));
+        assert_eq!(LinkSpec::IB_4X_QDR.latency(), Duration::from_nanos(1300));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn custom_rejects_zero_bandwidth() {
+        LinkSpec::custom(0.0, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_contains_name_and_rate() {
+        let s = format!("{}", LinkSpec::IB_4X_QDR);
+        assert!(s.contains("4xQDR") && s.contains("4.000"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Application-level round-robin network scheduling (§3.2.3, Figure 10).
+//!
+//! Uncoordinated all-to-all traffic causes switch contention: several input
+//! ports compete for one output port, credits run out, and throughput drops
+//! even on non-blocking switches. The paper's answer is a simple round-robin
+//! schedule that divides communication into contention-free phases: in each
+//! phase every server sends to exactly one target and receives from exactly
+//! one source (Figure 10(a)). Phases are separated by low-latency (~1 µs)
+//! inline synchronization messages.
+//!
+//! [`Schedule`] is the pure phase arithmetic; [`NetScheduler`] is the
+//! synchronization primitive the communication multiplexers block on. The
+//! scheduler supports *leaving* (a node that finished its data keeps out of
+//! future barriers), which the engine uses when exchanges complete at
+//! different times.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::fabric::NodeId;
+
+/// The round-robin communication schedule for `n` servers.
+///
+/// Phase `p ∈ [1, n)`: node `i` sends to `(i + p) mod n` and receives from
+/// `(i − p) mod n`. Every (sender, receiver) pair appears in exactly one
+/// phase, so no two senders ever share an ingress port.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    n: u16,
+}
+
+impl Schedule {
+    /// Schedule for a cluster of `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: u16) -> Self {
+        assert!(n > 0, "schedule needs at least one node");
+        Self { n }
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> u16 {
+        self.n
+    }
+
+    /// Number of communication phases (`n − 1`).
+    pub fn phases(&self) -> u16 {
+        self.n - 1
+    }
+
+    /// The node `node` sends to during `phase` (1-based phase index).
+    ///
+    /// # Panics
+    /// Panics if `phase` is not in `[1, n)` or `node` is out of range.
+    pub fn target(&self, node: NodeId, phase: u16) -> NodeId {
+        self.check(node, phase);
+        NodeId((node.0 + phase) % self.n)
+    }
+
+    /// The node `node` receives from during `phase`.
+    pub fn source(&self, node: NodeId, phase: u16) -> NodeId {
+        self.check(node, phase);
+        NodeId((node.0 + self.n - phase) % self.n)
+    }
+
+    fn check(&self, node: NodeId, phase: u16) {
+        assert!(node.0 < self.n, "node out of range");
+        assert!(phase >= 1 && phase < self.n, "phase must be in [1, n)");
+    }
+}
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable, leavable barrier with a modeled synchronization latency.
+///
+/// Each `sync()` models the exchange of inline synchronization messages: all
+/// participants block until the slowest arrives, then a calibrated ~1 µs
+/// latency is charged before anyone proceeds.
+pub struct NetScheduler {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    sync_latency: Duration,
+}
+
+impl NetScheduler {
+    /// Scheduler synchronizing `parties` multiplexers with the default
+    /// ~1 µs inline-message latency.
+    pub fn new(parties: usize) -> Arc<Self> {
+        Self::with_latency(parties, Duration::from_micros(1))
+    }
+
+    /// Scheduler with an explicit synchronization latency.
+    ///
+    /// # Panics
+    /// Panics if `parties` is zero.
+    pub fn with_latency(parties: usize, sync_latency: Duration) -> Arc<Self> {
+        assert!(parties > 0, "scheduler needs at least one party");
+        Arc::new(Self {
+            state: Mutex::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            sync_latency,
+        })
+    }
+
+    /// Block until all current parties arrived; models the inline
+    /// synchronization message exchange between phases.
+    pub fn sync(&self) {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived >= st.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        drop(st);
+        // The inline sync messages themselves (~1 µs on InfiniBand).
+        spin_for(self.sync_latency);
+    }
+
+    /// Permanently leave the barrier; remaining parties no longer wait for
+    /// this participant.
+    pub fn leave(&self) {
+        let mut st = self.state.lock();
+        assert!(st.parties > 0, "more leaves than parties");
+        st.parties -= 1;
+        if st.parties > 0 && st.arrived >= st.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parties still participating.
+    pub fn parties(&self) -> usize {
+        self.state.lock().parties
+    }
+}
+
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = std::time::Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn four_nodes_three_phases_match_figure_10a() {
+        let s = Schedule::new(4);
+        assert_eq!(s.phases(), 3);
+        // Phase 1: 0→1, 1→2, 2→3, 3→0.
+        assert_eq!(s.target(NodeId(0), 1), NodeId(1));
+        assert_eq!(s.target(NodeId(3), 1), NodeId(0));
+        // Phase 2: 0→2, 1→3, 2→0, 3→1.
+        assert_eq!(s.target(NodeId(0), 2), NodeId(2));
+        assert_eq!(s.target(NodeId(2), 2), NodeId(0));
+        // Sources mirror targets.
+        assert_eq!(s.source(NodeId(1), 1), NodeId(0));
+        assert_eq!(s.source(NodeId(0), 2), NodeId(2));
+    }
+
+    #[test]
+    fn schedule_covers_every_pair_exactly_once() {
+        for n in 2..10u16 {
+            let s = Schedule::new(n);
+            let mut seen = std::collections::HashSet::new();
+            for phase in 1..n {
+                for node in 0..n {
+                    let t = s.target(NodeId(node), phase);
+                    assert_ne!(t.0, node, "self-send in schedule");
+                    assert!(seen.insert((node, t.0)), "pair sent twice");
+                }
+            }
+            assert_eq!(seen.len(), usize::from(n) * usize::from(n - 1));
+        }
+    }
+
+    #[test]
+    fn each_phase_is_contention_free() {
+        // Within a phase no two nodes share a target (a permutation).
+        for n in 2..10u16 {
+            let s = Schedule::new(n);
+            for phase in 1..n {
+                let targets: std::collections::HashSet<u16> =
+                    (0..n).map(|i| s.target(NodeId(i), phase).0).collect();
+                assert_eq!(targets.len(), usize::from(n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be in")]
+    fn phase_zero_rejected() {
+        Schedule::new(4).target(NodeId(0), 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_threads() {
+        let sched = NetScheduler::with_latency(4, Duration::ZERO);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&sched);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 1..=10 {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        s.sync();
+                        // After each sync, all parties completed the round.
+                        assert!(c.load(Ordering::SeqCst) >= round * 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn leave_unblocks_waiters() {
+        let sched = NetScheduler::with_latency(2, Duration::ZERO);
+        let s2 = Arc::clone(&sched);
+        let h = std::thread::spawn(move || {
+            s2.sync(); // would deadlock if peer never arrives
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        sched.leave();
+        h.join().unwrap();
+        assert_eq!(sched.parties(), 1);
+    }
+
+    #[test]
+    fn sync_latency_is_charged() {
+        let sched = NetScheduler::with_latency(1, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        sched.sync();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,24 @@
+//! # hsqp-numa — simulated NUMA topology and cost model
+//!
+//! Modern many-core servers are NUMA machines: every CPU socket owns a local
+//! memory controller and reaches remote memory over QPI links that are both
+//! slower and higher-latency than local accesses (§2.1.1, §3.2.2 of the
+//! paper). The paper's engine exposes NUMA to the database so that message
+//! buffers are allocated NUMA-locally and the network thread is pinned to the
+//! NUIOA-local socket.
+//!
+//! This crate models that behaviour in software. A [`Topology`] describes
+//! sockets and cores; a [`CostModel`] charges a calibrated busy-wait penalty
+//! for remote accesses so that NUMA-oblivious placement *actually runs
+//! slower*, reproducing Figure 9 of the paper. Buffers are tagged with a
+//! [`SocketId`]; [`Topology::charge_access`] is called by the engine whenever
+//! a worker touches a buffer, and spins for the configured per-byte penalty
+//! when the buffer is remote.
+
+pub mod arena;
+pub mod cost;
+pub mod topology;
+
+pub use arena::{PooledBuffer, SocketArena};
+pub use cost::CostModel;
+pub use topology::{AllocPolicy, CoreId, SocketId, Topology};

@@ -1,0 +1,276 @@
+//! NUMA topology description and access charging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cost::CostModel;
+
+/// Identifier of a NUMA socket (CPU package) inside one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(pub u16);
+
+/// Identifier of a hardware context (logical core) inside one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub u16);
+
+/// Policy used when allocating network message buffers.
+///
+/// Figure 9 of the paper compares these three policies on a 4-socket server:
+/// NUMA-aware allocation wins, interleaved loses 17 %, single-socket 52 %.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// Allocate on the socket of the requesting worker (the paper's design).
+    #[default]
+    NumaAware,
+    /// Round-robin across all sockets regardless of the requester.
+    Interleaved,
+    /// Everything on socket 0.
+    SingleSocket,
+}
+
+/// Simulated NUMA topology of one server.
+///
+/// The default mirrors the paper's evaluation machines: two sockets with ten
+/// physical cores each (twenty hardware contexts). [`Topology::quad`] mirrors
+/// the 4-socket Sandy Bridge EP box used for Figure 9.
+#[derive(Debug)]
+pub struct Topology {
+    sockets: u16,
+    cores_per_socket: u16,
+    /// Socket the (simulated) host channel adapter hangs off — NUIOA.
+    nic_socket: SocketId,
+    cost: CostModel,
+    local_bytes: AtomicU64,
+    remote_bytes: AtomicU64,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Self {
+            sockets: self.sockets,
+            cores_per_socket: self.cores_per_socket,
+            nic_socket: self.nic_socket,
+            cost: self.cost,
+            local_bytes: AtomicU64::new(self.local_bytes.load(Ordering::Relaxed)),
+            remote_bytes: AtomicU64::new(self.remote_bytes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new(2, 10, CostModel::default())
+    }
+}
+
+impl Topology {
+    /// Create a topology with `sockets` sockets of `cores_per_socket` cores.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(sockets: u16, cores_per_socket: u16, cost: CostModel) -> Self {
+        assert!(sockets > 0, "a server needs at least one socket");
+        assert!(cores_per_socket > 0, "a socket needs at least one core");
+        Self {
+            sockets,
+            cores_per_socket,
+            nic_socket: SocketId(0),
+            cost,
+            local_bytes: AtomicU64::new(0),
+            remote_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The 4-socket, 15-cores-per-socket server of Figure 9.
+    pub fn quad() -> Self {
+        Self::new(4, 15, CostModel::default())
+    }
+
+    /// A single-socket topology: every access is local; useful in tests.
+    pub fn uniform(cores: u16) -> Self {
+        Self::new(1, cores, CostModel::free())
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// Number of cores on each socket.
+    pub fn cores_per_socket(&self) -> u16 {
+        self.cores_per_socket
+    }
+
+    /// Total number of hardware contexts.
+    pub fn total_cores(&self) -> u16 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Socket local to the network adapter (NUIOA, §2.1.1).
+    pub fn nic_socket(&self) -> SocketId {
+        self.nic_socket
+    }
+
+    /// Move the simulated HCA to a different socket.
+    pub fn set_nic_socket(&mut self, socket: SocketId) {
+        assert!(socket.0 < self.sockets, "socket out of range");
+        self.nic_socket = socket;
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Socket that owns a given core (cores are laid out socket-major).
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        assert!(core.0 < self.total_cores(), "core out of range");
+        SocketId(core.0 / self.cores_per_socket)
+    }
+
+    /// All cores belonging to `socket`.
+    pub fn cores_of(&self, socket: SocketId) -> impl Iterator<Item = CoreId> + '_ {
+        assert!(socket.0 < self.sockets, "socket out of range");
+        let base = socket.0 * self.cores_per_socket;
+        (base..base + self.cores_per_socket).map(CoreId)
+    }
+
+    /// Pick the allocation socket for a worker on `worker_socket` under `policy`.
+    ///
+    /// `seq` is a monotonically increasing allocation counter used by the
+    /// interleaved policy.
+    pub fn alloc_socket(&self, policy: AllocPolicy, worker_socket: SocketId, seq: u64) -> SocketId {
+        match policy {
+            AllocPolicy::NumaAware => worker_socket,
+            AllocPolicy::Interleaved => SocketId((seq % u64::from(self.sockets)) as u16),
+            AllocPolicy::SingleSocket => SocketId(0),
+        }
+    }
+
+    /// Charge the cost of `bytes` accessed from `from` touching memory on `at`.
+    ///
+    /// Local accesses are free (the real work the caller performs *is* the
+    /// local cost); remote accesses busy-wait for the calibrated QPI penalty,
+    /// making NUMA-oblivious placement measurably slower.
+    pub fn charge_access(&self, from: SocketId, at: SocketId, bytes: usize) {
+        if from == at {
+            self.local_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.remote_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            let penalty = self.cost.remote_penalty(bytes);
+            busy_wait(penalty);
+        }
+    }
+
+    /// Bytes accessed NUMA-locally so far.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes accessed NUMA-remotely so far.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reset the access counters (between benchmark runs).
+    pub fn reset_counters(&self) {
+        self.local_bytes.store(0, Ordering::Relaxed);
+        self.remote_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Spin for `d` without yielding the core — models memory-stall time, which
+/// on real hardware occupies the core just like this spin does.
+pub(crate) fn busy_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = std::time::Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_of_maps_socket_major() {
+        let t = Topology::new(2, 10, CostModel::free());
+        assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(9)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(10)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(19)), SocketId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "core out of range")]
+    fn socket_of_rejects_out_of_range() {
+        Topology::new(2, 10, CostModel::free()).socket_of(CoreId(20));
+    }
+
+    #[test]
+    fn cores_of_enumerates_socket() {
+        let t = Topology::new(2, 3, CostModel::free());
+        let cores: Vec<_> = t.cores_of(SocketId(1)).collect();
+        assert_eq!(cores, vec![CoreId(3), CoreId(4), CoreId(5)]);
+    }
+
+    #[test]
+    fn alloc_policy_numa_aware_returns_worker_socket() {
+        let t = Topology::quad();
+        assert_eq!(
+            t.alloc_socket(AllocPolicy::NumaAware, SocketId(3), 7),
+            SocketId(3)
+        );
+    }
+
+    #[test]
+    fn alloc_policy_interleaved_round_robins() {
+        let t = Topology::quad();
+        let picks: Vec<_> = (0..8)
+            .map(|i| t.alloc_socket(AllocPolicy::Interleaved, SocketId(0), i).0)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alloc_policy_single_socket_pins_to_zero() {
+        let t = Topology::quad();
+        assert_eq!(
+            t.alloc_socket(AllocPolicy::SingleSocket, SocketId(2), 42),
+            SocketId(0)
+        );
+    }
+
+    #[test]
+    fn charge_access_counts_local_and_remote() {
+        let t = Topology::new(2, 2, CostModel::free());
+        t.charge_access(SocketId(0), SocketId(0), 100);
+        t.charge_access(SocketId(0), SocketId(1), 50);
+        assert_eq!(t.local_bytes(), 100);
+        assert_eq!(t.remote_bytes(), 50);
+        t.reset_counters();
+        assert_eq!(t.local_bytes(), 0);
+        assert_eq!(t.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_access_takes_measurable_time() {
+        let cost = CostModel::new(2.0); // 2ns per remote byte
+        let t = Topology::new(2, 2, cost);
+        let start = std::time::Instant::now();
+        t.charge_access(SocketId(0), SocketId(1), 1_000_000);
+        // 1 MB * 2 ns = 2 ms of simulated QPI stall.
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn default_topology_matches_paper_servers() {
+        let t = Topology::default();
+        assert_eq!(t.sockets(), 2);
+        assert_eq!(t.total_cores(), 20);
+        assert_eq!(t.nic_socket(), SocketId(0));
+    }
+}

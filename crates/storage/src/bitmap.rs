@@ -1,0 +1,162 @@
+//! Validity bitmaps for nullable columns.
+
+/// A packed bitmap tracking which rows of a column are valid (non-NULL).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Self {
+            words: vec![word; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[w] |= 1 << b;
+        }
+        self.len += 1;
+    }
+
+    /// Bit at `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Set bit `idx` to `value`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        if value {
+            self.words[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.words[idx / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set (vacuously true when empty).
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_set(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn filled_true_and_false() {
+        let t = Bitmap::filled(100, true);
+        assert_eq!(t.count_set(), 100);
+        assert!(t.all_set());
+        let f = Bitmap::filled(100, false);
+        assert_eq!(f.count_set(), 0);
+    }
+
+    #[test]
+    fn filled_true_masks_tail_bits() {
+        // count_set must not count bits beyond len.
+        let t = Bitmap::filled(65, true);
+        assert_eq!(t.count_set(), 65);
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut bm = Bitmap::filled(10, false);
+        bm.set(7, true);
+        assert!(bm.get(7));
+        bm.set(7, false);
+        assert!(!bm.get(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_bounds() {
+        Bitmap::filled(4, true).get(4);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bm: Bitmap = [true, false, true].into_iter().collect();
+        assert_eq!(bm.len(), 3);
+        assert!(bm.get(0) && !bm.get(1) && bm.get(2));
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new();
+        assert!(bm.is_empty());
+        assert!(bm.all_set());
+    }
+}

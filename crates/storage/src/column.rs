@@ -1,0 +1,422 @@
+//! Typed columns.
+
+use crate::bitmap::Bitmap;
+use crate::types::{DataType, Value};
+
+/// Byte-packed UTF-8 string column (offsets + contiguous data), the layout
+/// HyPer's columnar format and our wire format (Figure 8) both favour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StringColumn {
+    offsets: Vec<u32>,
+    data: Vec<u8>,
+}
+
+impl StringColumn {
+    /// An empty string column.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for `rows` strings of `avg_len` average size.
+    pub fn with_capacity(rows: usize, avg_len: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            data: Vec::with_capacity(rows * avg_len),
+        }
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no strings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a string.
+    ///
+    /// # Panics
+    /// Panics if total data exceeds `u32::MAX` bytes.
+    pub fn push(&mut self, s: &str) {
+        self.data.extend_from_slice(s.as_bytes());
+        let end = u32::try_from(self.data.len()).expect("string column exceeds 4 GiB");
+        self.offsets.push(end);
+    }
+
+    /// String at row `idx`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, idx: usize) -> &str {
+        let start = self.offsets[idx] as usize;
+        let end = self.offsets[idx + 1] as usize;
+        // Safety: only `push` writes data, and it only appends whole strings.
+        std::str::from_utf8(&self.data[start..end]).expect("column holds valid UTF-8")
+    }
+
+    /// Total bytes of string data.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterate all strings.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl FromIterator<String> for StringColumn {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        let mut col = StringColumn::new();
+        for s in iter {
+            col.push(&s);
+        }
+        col
+    }
+}
+
+impl<'a> FromIterator<&'a str> for StringColumn {
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> Self {
+        let mut col = StringColumn::new();
+        for s in iter {
+            col.push(s);
+        }
+        col
+    }
+}
+
+/// A column of values, optionally with a validity bitmap.
+///
+/// Integer-backed logical types (Int64, Date, Decimal) all use the `I64`
+/// physical representation; the logical type lives in the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers (also dates and scaled decimals).
+    I64(Vec<i64>, Option<Bitmap>),
+    /// 64-bit floats.
+    F64(Vec<f64>, Option<Bitmap>),
+    /// UTF-8 strings.
+    Str(StringColumn, Option<Bitmap>),
+}
+
+impl Column {
+    /// An empty column of physical type matching `dtype`.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 | DataType::Date | DataType::Decimal => Column::I64(Vec::new(), None),
+            DataType::Float64 => Column::F64(Vec::new(), None),
+            DataType::Utf8 => Column::Str(StringColumn::new(), None),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v, _) => v.len(),
+            Column::F64(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether row `idx` is valid (non-NULL).
+    pub fn is_valid(&self, idx: usize) -> bool {
+        match self.validity() {
+            Some(bm) => bm.get(idx),
+            None => true,
+        }
+    }
+
+    /// The validity bitmap, if any rows may be NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::I64(_, v) | Column::F64(_, v) | Column::Str(_, v) => v.as_ref(),
+        }
+    }
+
+    /// Scalar value at `idx` (NULL-aware).
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn value(&self, idx: usize) -> Value {
+        if !self.is_valid(idx) {
+            return Value::Null;
+        }
+        match self {
+            Column::I64(v, _) => Value::I64(v[idx]),
+            Column::F64(v, _) => Value::F64(v[idx]),
+            Column::Str(v, _) => Value::Str(v.get(idx).to_owned()),
+        }
+    }
+
+    /// Append a scalar value; `Value::Null` appends a NULL.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    pub fn push_value(&mut self, value: &Value) {
+        let valid = !value.is_null();
+        match self {
+            Column::I64(v, bm) => {
+                v.push(if valid { value.as_i64() } else { 0 });
+                push_validity(bm, v.len(), valid);
+            }
+            Column::F64(v, bm) => {
+                v.push(if valid { value.as_f64() } else { 0.0 });
+                push_validity(bm, v.len(), valid);
+            }
+            Column::Str(v, bm) => {
+                v.push(if valid { value.as_str() } else { "" });
+                push_validity(bm, v.len(), valid);
+            }
+        }
+    }
+
+    /// Borrow the integer payload.
+    ///
+    /// # Panics
+    /// Panics when the column is not integer-backed.
+    pub fn i64_values(&self) -> &[i64] {
+        match self {
+            Column::I64(v, _) => v,
+            other => panic!("expected i64 column, found {:?}", other.physical_name()),
+        }
+    }
+
+    /// Borrow the float payload.
+    ///
+    /// # Panics
+    /// Panics when the column is not a float column.
+    pub fn f64_values(&self) -> &[f64] {
+        match self {
+            Column::F64(v, _) => v,
+            other => panic!("expected f64 column, found {:?}", other.physical_name()),
+        }
+    }
+
+    /// Borrow the string payload.
+    ///
+    /// # Panics
+    /// Panics when the column is not a string column.
+    pub fn str_values(&self) -> &StringColumn {
+        match self {
+            Column::Str(v, _) => v,
+            other => panic!("expected str column, found {:?}", other.physical_name()),
+        }
+    }
+
+    /// Name of the physical representation (diagnostics).
+    pub fn physical_name(&self) -> &'static str {
+        match self {
+            Column::I64(..) => "i64",
+            Column::F64(..) => "f64",
+            Column::Str(..) => "str",
+        }
+    }
+
+    /// Approximate heap size in bytes (for shuffle-volume accounting).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::I64(v, _) => v.len() * 8,
+            Column::F64(v, _) => v.len() * 8,
+            Column::Str(v, _) => v.data_len() + (v.len() + 1) * 4,
+        }
+    }
+
+    /// Copy the rows selected by `indices` into a new column.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::I64(v, bm) => {
+                let data: Vec<i64> = indices.iter().map(|&i| v[i]).collect();
+                Column::I64(data, gather_validity(bm, indices))
+            }
+            Column::F64(v, bm) => {
+                let data: Vec<f64> = indices.iter().map(|&i| v[i]).collect();
+                Column::F64(data, gather_validity(bm, indices))
+            }
+            Column::Str(v, bm) => {
+                let mut out = StringColumn::with_capacity(indices.len(), 16);
+                for &i in indices {
+                    out.push(v.get(i));
+                }
+                Column::Str(out, gather_validity(bm, indices))
+            }
+        }
+    }
+
+    /// Append all rows of `other` onto `self`.
+    ///
+    /// # Panics
+    /// Panics on physical type mismatch.
+    pub fn append(&mut self, other: &Column) {
+        let other_len = other.len();
+        match (&mut *self, other) {
+            (Column::I64(a, abm), Column::I64(b, bbm)) => {
+                append_validity(abm, a.len(), bbm, other_len);
+                a.extend_from_slice(b);
+            }
+            (Column::F64(a, abm), Column::F64(b, bbm)) => {
+                append_validity(abm, a.len(), bbm, other_len);
+                a.extend_from_slice(b);
+            }
+            (Column::Str(a, abm), Column::Str(b, bbm)) => {
+                append_validity(abm, a.len(), bbm, other_len);
+                for s in b.iter() {
+                    a.push(s);
+                }
+            }
+            (a, b) => panic!(
+                "cannot append {} column to {} column",
+                b.physical_name(),
+                a.physical_name()
+            ),
+        }
+    }
+}
+
+fn push_validity(bm: &mut Option<Bitmap>, new_len: usize, valid: bool) {
+    match bm {
+        Some(b) => b.push(valid),
+        None if valid => {} // stay dense
+        None => {
+            let mut b = Bitmap::filled(new_len - 1, true);
+            b.push(false);
+            *bm = Some(b);
+        }
+    }
+}
+
+fn gather_validity(bm: &Option<Bitmap>, indices: &[usize]) -> Option<Bitmap> {
+    bm.as_ref().map(|b| indices.iter().map(|&i| b.get(i)).collect())
+}
+
+fn append_validity(
+    abm: &mut Option<Bitmap>,
+    a_len: usize,
+    bbm: &Option<Bitmap>,
+    b_len: usize,
+) {
+    match (abm.as_mut(), bbm) {
+        (None, None) => {}
+        (Some(a), None) => {
+            for _ in 0..b_len {
+                a.push(true);
+            }
+        }
+        (None, Some(b)) => {
+            let mut bm = Bitmap::filled(a_len, true);
+            for i in 0..b_len {
+                bm.push(b.get(i));
+            }
+            *abm = Some(bm);
+        }
+        (Some(a), Some(b)) => {
+            for i in 0..b_len {
+                a.push(b.get(i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_column_roundtrip() {
+        let mut c = StringColumn::new();
+        c.push("hello");
+        c.push("");
+        c.push("wörld");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), "hello");
+        assert_eq!(c.get(1), "");
+        assert_eq!(c.get(2), "wörld");
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec!["hello", "", "wörld"]);
+    }
+
+    #[test]
+    fn column_push_and_value() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push_value(&Value::I64(5));
+        c.push_value(&Value::Null);
+        c.push_value(&Value::I64(-3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::I64(5));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::I64(-3));
+        assert!(!c.is_valid(1));
+    }
+
+    #[test]
+    fn dense_column_has_no_bitmap() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push_value(&Value::F64(1.0));
+        c.push_value(&Value::F64(2.0));
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let c = Column::I64(vec![10, 20, 30, 40], None);
+        let g = c.gather(&[3, 1, 1]);
+        assert_eq!(g.i64_values(), &[40, 20, 20]);
+    }
+
+    #[test]
+    fn gather_preserves_nulls() {
+        let mut c = Column::empty(DataType::Utf8);
+        c.push_value(&Value::Str("a".into()));
+        c.push_value(&Value::Null);
+        let g = c.gather(&[1, 0]);
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn append_merges_columns_and_validity() {
+        let mut a = Column::I64(vec![1, 2], None);
+        let mut b = Column::empty(DataType::Int64);
+        b.push_value(&Value::Null);
+        b.push_value(&Value::I64(9));
+        a.append(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.value(0), Value::I64(1));
+        assert_eq!(a.value(2), Value::Null);
+        assert_eq!(a.value(3), Value::I64(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn append_type_mismatch_panics() {
+        let mut a = Column::I64(vec![1], None);
+        a.append(&Column::F64(vec![1.0], None));
+    }
+
+    #[test]
+    fn byte_size_accounts_strings() {
+        let c: StringColumn = ["ab", "cde"].into_iter().collect();
+        let col = Column::Str(c, None);
+        assert_eq!(col.byte_size(), 5 + 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64")]
+    fn typed_accessor_mismatch_panics() {
+        Column::F64(vec![], None).i64_values();
+    }
+}

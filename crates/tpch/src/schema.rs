@@ -1,0 +1,145 @@
+//! TPC-H relation schemas.
+
+use hsqp_storage::{DataType, Field, Schema};
+
+/// Schema of the `part` relation.
+pub fn part() -> Schema {
+    Schema::new(vec![
+        Field::new("p_partkey", DataType::Int64),
+        Field::new("p_name", DataType::Utf8),
+        Field::new("p_mfgr", DataType::Utf8),
+        Field::new("p_brand", DataType::Utf8),
+        Field::new("p_type", DataType::Utf8),
+        Field::new("p_size", DataType::Int64),
+        Field::new("p_container", DataType::Utf8),
+        Field::new("p_retailprice", DataType::Decimal),
+        Field::new("p_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `supplier` relation.
+pub fn supplier() -> Schema {
+    Schema::new(vec![
+        Field::new("s_suppkey", DataType::Int64),
+        Field::new("s_name", DataType::Utf8),
+        Field::new("s_address", DataType::Utf8),
+        Field::new("s_nationkey", DataType::Int64),
+        Field::new("s_phone", DataType::Utf8),
+        Field::new("s_acctbal", DataType::Decimal),
+        Field::new("s_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `partsupp` relation.
+pub fn partsupp() -> Schema {
+    Schema::new(vec![
+        Field::new("ps_partkey", DataType::Int64),
+        Field::new("ps_suppkey", DataType::Int64),
+        Field::new("ps_availqty", DataType::Int64),
+        Field::new("ps_supplycost", DataType::Decimal),
+        Field::new("ps_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `customer` relation.
+pub fn customer() -> Schema {
+    Schema::new(vec![
+        Field::new("c_custkey", DataType::Int64),
+        Field::new("c_name", DataType::Utf8),
+        Field::new("c_address", DataType::Utf8),
+        Field::new("c_nationkey", DataType::Int64),
+        Field::new("c_phone", DataType::Utf8),
+        Field::new("c_acctbal", DataType::Decimal),
+        Field::new("c_mktsegment", DataType::Utf8),
+        Field::new("c_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `orders` relation.
+pub fn orders() -> Schema {
+    Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int64),
+        Field::new("o_custkey", DataType::Int64),
+        Field::new("o_orderstatus", DataType::Utf8),
+        Field::new("o_totalprice", DataType::Decimal),
+        Field::new("o_orderdate", DataType::Date),
+        Field::new("o_orderpriority", DataType::Utf8),
+        Field::new("o_clerk", DataType::Utf8),
+        Field::new("o_shippriority", DataType::Int64),
+        Field::new("o_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `lineitem` relation.
+pub fn lineitem() -> Schema {
+    Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int64),
+        Field::new("l_partkey", DataType::Int64),
+        Field::new("l_suppkey", DataType::Int64),
+        Field::new("l_linenumber", DataType::Int64),
+        Field::new("l_quantity", DataType::Decimal),
+        Field::new("l_extendedprice", DataType::Decimal),
+        Field::new("l_discount", DataType::Decimal),
+        Field::new("l_tax", DataType::Decimal),
+        Field::new("l_returnflag", DataType::Utf8),
+        Field::new("l_linestatus", DataType::Utf8),
+        Field::new("l_shipdate", DataType::Date),
+        Field::new("l_commitdate", DataType::Date),
+        Field::new("l_receiptdate", DataType::Date),
+        Field::new("l_shipinstruct", DataType::Utf8),
+        Field::new("l_shipmode", DataType::Utf8),
+        Field::new("l_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `nation` relation.
+pub fn nation() -> Schema {
+    Schema::new(vec![
+        Field::new("n_nationkey", DataType::Int64),
+        Field::new("n_name", DataType::Utf8),
+        Field::new("n_regionkey", DataType::Int64),
+        Field::new("n_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `region` relation.
+pub fn region() -> Schema {
+    Schema::new(vec![
+        Field::new("r_regionkey", DataType::Int64),
+        Field::new("r_name", DataType::Utf8),
+        Field::new("r_comment", DataType::Utf8),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_has_sixteen_columns() {
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(lineitem().index_of("l_shipdate"), 10);
+    }
+
+    #[test]
+    fn money_columns_are_decimal() {
+        assert_eq!(orders().field("o_totalprice").dtype, DataType::Decimal);
+        assert_eq!(part().field("p_retailprice").dtype, DataType::Decimal);
+    }
+
+    #[test]
+    fn all_schemas_resolve() {
+        for s in [
+            part(),
+            supplier(),
+            partsupp(),
+            customer(),
+            orders(),
+            lineitem(),
+            nation(),
+            region(),
+        ] {
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Zipf-distributed workloads for the skew experiments (§3.1).
+//!
+//! The paper argues that classic exchange operators with `n·t` parallel
+//! units are far more vulnerable to attribute-value skew than hybrid
+//! parallelism with `n` units: a Zipf factor of z = 0.84 "already more than
+//! doubles the input for the overloaded parallel unit" at 240 units, but
+//! adds "a mere 2.8 %" at 6 units. [`ZipfGenerator`] produces such keys and
+//! [`imbalance`] measures the resulting overload factor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples integers from `[0, n)` with Zipf-distributed frequency:
+/// P(k) ∝ 1 / (k+1)^z.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    cdf: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Generator over `n` distinct values with exponent `z`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `z` is negative/non-finite.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "need at least one value");
+        assert!(z.is_finite() && z >= 0.0, "zipf exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draw `count` values with a fresh RNG seeded by `seed`.
+    pub fn sample_many(&self, count: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+/// Given hash-partitioned key assignments, compute the overload factor of
+/// the busiest of `units` parallel units: `max_load / fair_share`. An even
+/// distribution yields 1.0; the paper's Zipf 0.84 data set yields >2 at 240
+/// units but ~1.03 at 6 units.
+pub fn imbalance(keys: &[usize], units: usize) -> f64 {
+    assert!(units > 0, "need at least one parallel unit");
+    if keys.is_empty() {
+        return 1.0;
+    }
+    let mut loads = vec![0usize; units];
+    for &k in keys {
+        loads[hsqp_storage::placement::crc32_i64(k as i64) as usize % units] += 1;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let fair = keys.len() as f64 / units as f64;
+    max / fair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_z_is_zero() {
+        let g = ZipfGenerator::new(100, 0.0);
+        let samples = g.sample_many(100_000, 1);
+        let mut counts = vec![0usize; 100];
+        for s in samples {
+            counts[s] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "min={min} max={max}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_small_keys() {
+        let g = ZipfGenerator::new(1000, 1.0);
+        let samples = g.sample_many(50_000, 2);
+        let zero_share = samples.iter().filter(|&&s| s == 0).count() as f64 / 50_000.0;
+        // With z=1 over 1000 values, value 0 gets ~1/H(1000) ≈ 13 %.
+        assert!(zero_share > 0.08, "share={zero_share}");
+        let top10 = samples.iter().filter(|&&s| s < 10).count() as f64 / 50_000.0;
+        assert!(top10 > 0.3, "top10={top10}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let g = ZipfGenerator::new(7, 0.84);
+        for s in g.sample_many(10_000, 3) {
+            assert!(s < 7);
+        }
+    }
+
+    #[test]
+    fn imbalance_grows_with_parallel_units() {
+        // The paper's core skew argument: more parallel units → worse skew.
+        let g = ZipfGenerator::new(100_000, 0.84);
+        let keys = g.sample_many(200_000, 4);
+        let few = imbalance(&keys, 6);
+        let many = imbalance(&keys, 240);
+        assert!(many > few, "few={few} many={many}");
+        assert!(many > 1.5, "240 units should be badly imbalanced: {many}");
+        assert!(few < 1.4, "6 units should be mildly imbalanced: {few}");
+    }
+
+    #[test]
+    fn imbalance_of_uniform_keys_is_near_one() {
+        let keys: Vec<usize> = (0..120_000).collect();
+        let f = imbalance(&keys, 6);
+        assert!(f < 1.05, "uniform imbalance {f}");
+    }
+
+    #[test]
+    fn empty_keys_are_balanced() {
+        assert_eq!(imbalance(&[], 8), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_domain_rejected() {
+        ZipfGenerator::new(0, 1.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Word pools and text synthesis for TPC-H string columns.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The 25 nations with their region assignment (spec Appendix).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Part-name colors (spec P_NAME picks five of these).
+pub const COLORS: [&str; 30] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted",
+];
+
+/// P_TYPE syllable 1.
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// P_TYPE syllable 2.
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// P_TYPE syllable 3.
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// P_CONTAINER syllable 1.
+pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// P_CONTAINER syllable 2.
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Customer market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Lineitem ship instructions.
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Lineitem ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Filler nouns for comment text.
+const NOUNS: [&str; 16] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
+    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "dolphins",
+];
+
+/// Filler verbs/adverbs for comment text.
+const VERBS: [&str; 14] = [
+    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "solve", "affix",
+    "engage", "doze", "run", "lose",
+];
+
+/// Filler adjectives for comment text.
+const ADJECTIVES: [&str; 12] = [
+    "quickly", "slowly", "carefully", "blithely", "furiously", "express", "final", "ironic",
+    "pending", "regular", "silent", "bold",
+];
+
+/// Generate a nonsense comment of roughly `words` words.
+pub fn comment(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::with_capacity(words * 8);
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = match i % 3 {
+            0 => ADJECTIVES[rng.random_range(0..ADJECTIVES.len())],
+            1 => NOUNS[rng.random_range(0..NOUNS.len())],
+            _ => VERBS[rng.random_range(0..VERBS.len())],
+        };
+        out.push_str(w);
+    }
+    out
+}
+
+/// Order comment; ~1 % contain the `special … requests` pattern query 13
+/// filters out.
+pub fn order_comment(rng: &mut StdRng) -> String {
+    let w = rng.random_range(4..9);
+    let mut c = comment(rng, w);
+    if rng.random_range(0..100) == 0 {
+        c.push_str(" special packages requests");
+    }
+    c
+}
+
+/// Supplier comment; ~0.05 % contain the `Customer … Complaints` pattern
+/// query 16 excludes.
+pub fn supplier_comment(rng: &mut StdRng) -> String {
+    let w = rng.random_range(4..9);
+    let mut c = comment(rng, w);
+    if rng.random_range(0..2000) == 0 {
+        c.push_str(" Customer stuff Complaints");
+    }
+    c
+}
+
+/// A part name: five space-separated colors (spec 4.2.3).
+pub fn part_name(rng: &mut StdRng) -> String {
+    let mut picks = Vec::with_capacity(5);
+    while picks.len() < 5 {
+        let c = COLORS[rng.random_range(0..COLORS.len())];
+        if !picks.contains(&c) {
+            picks.push(c);
+        }
+    }
+    picks.join(" ")
+}
+
+/// A phone number with the nation-derived country code (spec 4.2.2.9).
+pub fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.random_range(100..1000),
+        rng.random_range(100..1000),
+        rng.random_range(1000..10_000)
+    )
+}
+
+/// A random street-ish address.
+pub fn address(rng: &mut StdRng) -> String {
+    let len = rng.random_range(10..25);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        let c = b"abcdefghijklmnopqrstuvwxyz0123456789 ,"[rng.random_range(0..38)];
+        s.push(c as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nations_and_regions_have_spec_cardinality() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+    }
+
+    #[test]
+    fn part_name_has_five_distinct_colors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = part_name(&mut rng);
+        let words: Vec<_> = name.split(' ').collect();
+        assert_eq!(words.len(), 5);
+        let mut unique = words.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn phone_embeds_country_code() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = phone(&mut rng, 7);
+        assert!(p.starts_with("17-"), "{p}");
+        assert_eq!(p.len(), "17-123-456-7890".len());
+    }
+
+    #[test]
+    fn comments_are_deterministic_per_seed() {
+        let a = comment(&mut StdRng::seed_from_u64(3), 6);
+        let b = comment(&mut StdRng::seed_from_u64(3), 6);
+        assert_eq!(a, b);
+        assert_eq!(a.split(' ').count(), 6);
+    }
+
+    #[test]
+    fn q13_pattern_appears_sometimes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..5000)
+            .filter(|_| order_comment(&mut rng).contains("special"))
+            .count();
+        assert!(hits > 10 && hits < 200, "hits={hits}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Working directly with the network substrate (§2): tune TCP, compare it
+//! with RDMA verbs, and watch the CPU-overhead gap the paper measured
+//! (100–190 % of a core for TCP vs ~4 % for RDMA).
+//!
+//! ```bash
+//! cargo run --release --example network_tuning
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsqp::net::{
+    Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
+};
+
+const SIZE: usize = 512 * 1024;
+const MESSAGES: usize = 100;
+
+fn main() {
+    let configs = [
+        ("TCP w/o offload", Some(TcpConfig::without_offload())),
+        ("default TCP", Some(TcpConfig::default_tcp())),
+        ("TCP 64k MTU", Some(TcpConfig::connected_64k())),
+        ("TCP tuned", Some(TcpConfig::tuned())),
+        ("RDMA", None),
+    ];
+    println!("one stream, {MESSAGES} x 512 KB messages over simulated 4xQDR:\n");
+    for (name, tcp) in configs {
+        let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
+        let start = Instant::now();
+        match tcp {
+            Some(cfg) => {
+                let net = TcpNetwork::new(Arc::clone(&fabric), cfg);
+                let a = net.endpoint(NodeId(0));
+                let b = net.endpoint(NodeId(1));
+                let payload = vec![1u8; SIZE];
+                let h = std::thread::spawn(move || {
+                    for _ in 0..MESSAGES {
+                        b.recv();
+                    }
+                });
+                for _ in 0..MESSAGES {
+                    a.send(NodeId(1), &payload);
+                }
+                h.join().unwrap();
+            }
+            None => {
+                let net = RdmaNetwork::new(Arc::clone(&fabric), RdmaConfig::default());
+                let a = net.endpoint(NodeId(0));
+                let b = net.endpoint(NodeId(1));
+                b.post_recvs(MESSAGES as u64);
+                let region = a.register(vec![1u8; SIZE]);
+                let h = std::thread::spawn(move || {
+                    for _ in 0..MESSAGES {
+                        b.wait_completion();
+                    }
+                });
+                for _ in 0..MESSAGES {
+                    a.post_send_bytes(NodeId(1), region.bytes().clone());
+                }
+                h.join().unwrap();
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let gbps = (MESSAGES * SIZE) as f64 / elapsed / 1e9;
+        // CPU utilization of the receiver relative to the transfer time —
+        // the paper's headline TCP-vs-RDMA number.
+        let recv_cpu = fabric.stats(NodeId(1)).recv_cpu().as_secs_f64();
+        println!(
+            "{name:>18}: {gbps:>5.2} GB/s, receiver CPU {:>5.1}% of one core",
+            recv_cpu / elapsed * 100.0,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # hsqp — High-Speed Query Processing over High-Speed Networks
+//!
+//! Umbrella crate re-exporting the full reproduction of Rödiger et al.,
+//! "High-Speed Query Processing over High-Speed Networks" (PVLDB 9(4), 2015).
+//!
+//! The system consists of:
+//!
+//! * [`numa`] — simulated NUMA topology and remote-access cost model,
+//! * [`net`] — the calibrated software network fabric with TCP and RDMA
+//!   endpoint models plus low-latency round-robin network scheduling,
+//! * [`storage`] — columnar in-memory storage with morsel iteration,
+//! * [`tpch`] — a deterministic TPC-H-shaped data generator,
+//! * [`engine`] — the distributed query engine itself: hybrid parallelism,
+//!   decoupled exchange operators, the RDMA-based communication multiplexer,
+//!   and physical plans for all 22 TPC-H queries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hsqp::engine::cluster::{Cluster, ClusterConfig};
+//! use hsqp::engine::queries;
+//!
+//! // A 2-node simulated cluster over the RDMA transport.
+//! let cluster = Cluster::start(ClusterConfig::quick(2)).unwrap();
+//! cluster.load_tpch(0.001).unwrap();
+//! let result = cluster.run(&queries::tpch_query(1).unwrap()).unwrap();
+//! assert!(result.row_count() > 0);
+//! cluster.shutdown();
+//! ```
+
+pub use hsqp_engine as engine;
+pub use hsqp_net as net;
+pub use hsqp_numa as numa;
+pub use hsqp_storage as storage;
+pub use hsqp_tpch as tpch;

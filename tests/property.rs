@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the wire format, partitioning, dates, LIKE matching,
+//! bitmaps, sorting, and two-phase aggregation.
+
+use proptest::prelude::*;
+
+use hsqp::engine::expr::{col, lit, LikeMatcher};
+use hsqp::engine::local::MorselDriver;
+use hsqp::engine::ops::{aggregate, sort_table};
+use hsqp::engine::plan::{AggFunc, AggSpec, SortKey};
+use hsqp::engine::wire::{RowDeserializer, RowSerializer};
+use hsqp::numa::Topology;
+use hsqp::storage::placement::{chunk_split, crc32_i64, hash_partition};
+use hsqp::storage::types::ymd_of_date;
+use hsqp::storage::{date_from_ymd, Bitmap, Column, DataType, Field, Schema, Table, Value};
+
+/// A random nullable mixed-type table.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let row = (
+        any::<i64>(),
+        proptest::option::of(any::<f64>().prop_filter("finite", |f| f.is_finite())),
+        proptest::option::of("[a-z0-9 ]{0,12}"),
+        0i64..1000,
+    );
+    proptest::collection::vec(row, 0..60).prop_map(|rows| {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::nullable("f", DataType::Float64),
+            Field::nullable("s", DataType::Utf8),
+            Field::new("g", DataType::Int64),
+        ]);
+        let mut cols: Vec<Column> = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.dtype))
+            .collect();
+        for (k, f, s, g) in rows {
+            cols[0].push_value(&Value::I64(k));
+            cols[1].push_value(&f.map_or(Value::Null, Value::F64));
+            cols[2].push_value(&s.map_or(Value::Null, Value::Str));
+            cols[3].push_value(&Value::I64(g));
+        }
+        Table::new(schema, cols)
+    })
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_is_lossless(t in arb_table()) {
+        let ser = RowSerializer::new(t.schema());
+        let de = RowDeserializer::new(t.schema());
+        let mut buf = Vec::new();
+        ser.serialize_range(&t, 0..t.rows(), &mut buf);
+        let back = de.deserialize(&buf);
+        prop_assert_eq!(back.rows(), t.rows());
+        for r in 0..t.rows() {
+            for c in 0..t.schema().len() {
+                prop_assert_eq!(back.value(r, c), t.value(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn wire_row_size_is_exact(t in arb_table()) {
+        let ser = RowSerializer::new(t.schema());
+        for r in 0..t.rows() {
+            let mut buf = Vec::new();
+            ser.serialize_row(&t, r, &mut buf);
+            prop_assert_eq!(ser.row_size(&t, r), buf.len());
+        }
+    }
+
+    #[test]
+    fn crc_partitioning_is_stable_and_in_range(keys in proptest::collection::vec(any::<i64>(), 1..500), n in 1usize..16) {
+        for &k in &keys {
+            let b = crc32_i64(k) as usize % n;
+            prop_assert!(b < n);
+            prop_assert_eq!(b, crc32_i64(k) as usize % n);
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_disjoint_and_complete(t in arb_table(), n in 1usize..6) {
+        let parts = hash_partition(&t, 0, n);
+        let total: usize = parts.iter().map(Table::rows).sum();
+        prop_assert_eq!(total, t.rows());
+        let mut all: Vec<i64> = parts
+            .iter()
+            .flat_map(|p| p.column(0).i64_values().to_vec())
+            .collect();
+        let mut orig: Vec<i64> = t.column(0).i64_values().to_vec();
+        all.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn chunk_split_preserves_order_and_rows(t in arb_table(), n in 1usize..6) {
+        let parts = chunk_split(&t, n);
+        prop_assert_eq!(parts.len(), n);
+        let rebuilt: Vec<i64> = parts
+            .iter()
+            .flat_map(|p| p.column(0).i64_values().to_vec())
+            .collect();
+        prop_assert_eq!(rebuilt, t.column(0).i64_values().to_vec());
+    }
+
+    #[test]
+    fn date_roundtrip(days in -200_000i64..200_000) {
+        let (y, m, d) = ymd_of_date(days);
+        prop_assert_eq!(date_from_ymd(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    #[test]
+    fn like_matches_reference(text in "[a-c]{0,16}", pattern in "[a-c%]{0,8}") {
+        // Reference: naive recursive matcher over % wildcards.
+        fn reference(text: &str, pat: &str) -> bool {
+            match pat.find('%') {
+                None => text == pat,
+                Some(i) => {
+                    let (head, rest) = (&pat[..i], &pat[i + 1..]);
+                    if !text.starts_with(head) {
+                        return false;
+                    }
+                    let tail = &text[head.len()..];
+                    (0..=tail.len()).any(|j| reference(&tail[j..], rest))
+                }
+            }
+        }
+        let m = LikeMatcher::new(&pattern);
+        prop_assert_eq!(m.matches(&text), reference(&text, &pattern), "pattern {:?} text {:?}", pattern, text);
+    }
+
+    #[test]
+    fn bitmap_behaves_like_vec_bool(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let bm: Bitmap = bits.iter().copied().collect();
+        prop_assert_eq!(bm.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        prop_assert_eq!(bm.count_set(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn sort_is_ordered_permutation(t in arb_table()) {
+        let sorted = sort_table(&t, &[SortKey::asc("k"), SortKey::desc("g")], None);
+        prop_assert_eq!(sorted.rows(), t.rows());
+        let ks = sorted.column(0).i64_values();
+        let gs = sorted.column(3).i64_values();
+        for w in 1..sorted.rows() {
+            prop_assert!(ks[w - 1] <= ks[w]);
+            if ks[w - 1] == ks[w] {
+                prop_assert!(gs[w - 1] >= gs[w]);
+            }
+        }
+        let mut a: Vec<i64> = ks.to_vec();
+        let mut b: Vec<i64> = t.column(0).i64_values().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_limit_is_prefix(t in arb_table(), limit in 0usize..20) {
+        let full = sort_table(&t, &[SortKey::asc("k")], None);
+        let limited = sort_table(&t, &[SortKey::asc("k")], Some(limit));
+        prop_assert_eq!(limited.rows(), limit.min(t.rows()));
+        prop_assert_eq!(
+            limited.column(0).i64_values(),
+            &full.column(0).i64_values()[..limited.rows()]
+        );
+    }
+
+    #[test]
+    fn two_phase_aggregation_equals_single(t in arb_table(), split in 0usize..60) {
+        use hsqp::engine::plan::AggPhase;
+        let driver = MorselDriver::new(1, &Topology::uniform(1), 16, true);
+        let aggs = vec![
+            AggSpec::new(AggFunc::Sum, col("g"), "total"),
+            AggSpec::new(AggFunc::Count, lit(1), "cnt"),
+            AggSpec::new(AggFunc::Min, col("k"), "lo"),
+            AggSpec::new(AggFunc::Max, col("k"), "hi"),
+            AggSpec::new(AggFunc::Avg, col("g"), "mean"),
+        ];
+        let single = aggregate(&t, &[3], &aggs, AggPhase::Single, &driver, &[]);
+
+        let split = split.min(t.rows());
+        let left = t.gather(&(0..split).collect::<Vec<_>>());
+        let right = t.gather(&(split..t.rows()).collect::<Vec<_>>());
+        let mut partials = aggregate(&left, &[3], &aggs, AggPhase::Partial, &driver, &[]);
+        partials.append(&aggregate(&right, &[3], &aggs, AggPhase::Partial, &driver, &[]));
+        let gidx = partials.schema().index_of("g");
+        let merged = aggregate(&partials, &[gidx], &aggs, AggPhase::Final, &driver, &[]);
+
+        prop_assert_eq!(merged.rows(), single.rows());
+        let key = |tab: &Table| {
+            let mut rows: Vec<String> = (0..tab.rows())
+                .map(|r| {
+                    (0..tab.schema().len())
+                        .map(|c| match tab.value(r, c) {
+                            Value::F64(x) => format!("{x:.6}"),
+                            v => v.to_string(),
+                        })
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(key(&merged), key(&single));
+    }
+
+    #[test]
+    fn zipf_imbalance_at_least_one(count in 10usize..500, units in 1usize..32) {
+        let g = hsqp::tpch::ZipfGenerator::new(50, 0.84);
+        let keys = g.sample_many(count, 5);
+        let f = hsqp::tpch::skew::imbalance(&keys, units);
+        prop_assert!(f >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: all 22 TPC-H queries must produce identical
+//! results on a single server and on a multi-server cluster, across
+//! transports and engine variants — the core correctness invariant of
+//! distributed query execution.
+
+use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
+use hsqp::engine::queries::{tpch_query, ALL_QUERIES};
+use hsqp::storage::{Table, Value};
+use hsqp::tpch::TpchDb;
+
+const SF: f64 = 0.002;
+
+/// Compare tables modulo row order and float rounding.
+fn assert_tables_equal(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row counts differ");
+    assert_eq!(a.schema().len(), b.schema().len(), "{what}: arity differs");
+    let rows = |t: &Table| -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..t.rows())
+            .map(|r| {
+                (0..t.schema().len())
+                    .map(|c| match t.value(r, c) {
+                        Value::F64(x) => format!("{x:.2}"),
+                        v => v.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(rows(a), rows(b), "{what}: contents differ");
+}
+
+fn run_all(cluster: &Cluster) -> Vec<Table> {
+    ALL_QUERIES
+        .iter()
+        .map(|&n| {
+            let q = tpch_query(n).unwrap();
+            cluster
+                .run(&q)
+                .unwrap_or_else(|e| panic!("query {n} failed: {e}"))
+                .table
+        })
+        .collect()
+}
+
+#[test]
+fn all_queries_match_across_cluster_sizes() {
+    let db = TpchDb::generate(SF);
+
+    let single = Cluster::start(ClusterConfig::quick(1)).unwrap();
+    single.load_tpch_db(db.clone()).unwrap();
+    let reference = run_all(&single);
+    single.shutdown();
+
+    let multi = Cluster::start(ClusterConfig::quick(3)).unwrap();
+    multi.load_tpch_db(db).unwrap();
+    let distributed = run_all(&multi);
+    multi.shutdown();
+
+    for ((n, a), b) in ALL_QUERIES.iter().zip(&reference).zip(&distributed) {
+        assert_tables_equal(a, b, &format!("query {n} (1 vs 3 nodes)"));
+    }
+}
+
+#[test]
+fn queries_match_over_tcp_transport() {
+    let db = TpchDb::generate(SF);
+
+    let rdma = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    rdma.load_tpch_db(db.clone()).unwrap();
+
+    let tcp_cfg = ClusterConfig {
+        transport: Transport::tcp(),
+        ..ClusterConfig::quick(2)
+    };
+    let tcp = Cluster::start(tcp_cfg).unwrap();
+    tcp.load_tpch_db(db).unwrap();
+
+    // A representative subset (all operator shapes) to keep runtime sane.
+    for n in [1, 3, 6, 13, 16, 17, 21, 22] {
+        let q = tpch_query(n).unwrap();
+        let a = rdma.run(&q).unwrap().table;
+        let b = tcp.run(&q).unwrap().table;
+        assert_tables_equal(&a, &b, &format!("query {n} (rdma vs tcp)"));
+    }
+    rdma.shutdown();
+    tcp.shutdown();
+}
+
+#[test]
+fn classic_engine_matches_hybrid() {
+    let db = TpchDb::generate(SF);
+
+    let hybrid = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    hybrid.load_tpch_db(db.clone()).unwrap();
+
+    let classic_cfg = ClusterConfig {
+        engine: EngineKind::Classic,
+        transport: Transport::rdma_unscheduled(),
+        ..ClusterConfig::quick(2)
+    };
+    let classic = Cluster::start(classic_cfg).unwrap();
+    classic.load_tpch_db(db).unwrap();
+
+    for n in [1, 4, 5, 10, 12, 14, 18] {
+        let q = tpch_query(n).unwrap();
+        let a = hybrid.run(&q).unwrap().table;
+        let b = classic.run(&q).unwrap().table;
+        assert_tables_equal(&a, &b, &format!("query {n} (hybrid vs classic)"));
+    }
+    hybrid.shutdown();
+    classic.shutdown();
+}
+
+#[test]
+fn partitioned_placement_matches_chunked() {
+    let db = TpchDb::generate(SF);
+
+    let chunked = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    chunked.load_tpch_db(db.clone()).unwrap();
+
+    let part_cfg = ClusterConfig {
+        placement: hsqp::storage::placement::Placement::Partitioned,
+        ..ClusterConfig::quick(2)
+    };
+    let partitioned = Cluster::start(part_cfg).unwrap();
+    partitioned.load_tpch_db(db).unwrap();
+
+    for n in [2, 3, 9, 11, 15, 19, 20] {
+        let q = tpch_query(n).unwrap();
+        let a = chunked.run(&q).unwrap().table;
+        let b = partitioned.run(&q).unwrap().table;
+        assert_tables_equal(&a, &b, &format!("query {n} (chunked vs partitioned)"));
+    }
+    chunked.shutdown();
+    partitioned.shutdown();
+}
