@@ -19,9 +19,7 @@ use hsqp_storage::placement::crc32_i64;
 use hsqp_tpch::{TpchDb, TpchTable};
 
 fn lineitem() -> hsqp_storage::Table {
-    TpchDb::generate(0.01)
-        .table(TpchTable::Lineitem)
-        .clone()
+    TpchDb::generate(0.01).table(TpchTable::Lineitem).clone()
 }
 
 fn bench_wire(c: &mut Criterion) {

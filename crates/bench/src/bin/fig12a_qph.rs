@@ -47,7 +47,10 @@ fn main() {
                 ..ClusterConfig::paper(NODES)
             },
         ),
-        ("hybrid, RDMA + scheduling (chunked)", ClusterConfig::paper(NODES)),
+        (
+            "hybrid, RDMA + scheduling (chunked)",
+            ClusterConfig::paper(NODES),
+        ),
         (
             "hybrid, RDMA + scheduling (partitioned)",
             ClusterConfig {

@@ -56,10 +56,7 @@ fn main() {
         }
         rows.push(row);
     }
-    hsqp_bench::print_table(
-        &["servers", "RDMA+sched", "TCP/IB", "TCP/GbE"],
-        &rows,
-    );
+    hsqp_bench::print_table(&["servers", "RDMA+sched", "TCP/IB", "TCP/GbE"], &rows);
     println!();
     println!("paper @6 servers: RDMA+sched 3.5x, TCP/IB ~1x, TCP/GbE ~0.16x");
     println!("(speed-ups use the single-core compute correction, see DESIGN.md)");

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hsqp_net::{
-    Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
-};
+use hsqp_net::{Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork};
 
 const SIZE: usize = 512 * 1024;
 const MESSAGES: usize = 200;
@@ -33,10 +31,12 @@ fn tcp_throughput(cfg: TcpConfig, bidirectional: bool) -> f64 {
             while let Some(_m) = b.recv_timeout(std::time::Duration::ZERO) {
                 received += 1;
             }
-            if received < MESSAGES && (!bidirectional || sent >= MESSAGES) {
-                if b.recv_timeout(std::time::Duration::from_millis(1)).is_some() {
-                    received += 1;
-                }
+            if received < MESSAGES
+                && (!bidirectional || sent >= MESSAGES)
+                && b.recv_timeout(std::time::Duration::from_millis(1))
+                    .is_some()
+            {
+                received += 1;
             }
         }
     });

@@ -39,11 +39,7 @@ fn main() {
     hsqp_bench::print_table(
         &["allocation policy", "queries/hour", "vs NUMA-aware"],
         &[
-            vec![
-                "NUMA-aware".into(),
-                format!("{aware:.0}"),
-                "100%".into(),
-            ],
+            vec!["NUMA-aware".into(), format!("{aware:.0}"), "100%".into()],
             vec![
                 "interleaved".into(),
                 format!("{inter:.0}"),

@@ -23,10 +23,7 @@ fn total(link: LinkSpec, transport: Transport, db: &TpchDb) -> f64 {
 }
 
 fn main() {
-    hsqp_bench::banner(
-        "§4.2.2",
-        "network scheduling impact on TPC-H per transport",
-    );
+    hsqp_bench::banner("§4.2.2", "network scheduling impact on TPC-H per transport");
     let db = TpchDb::generate(SF);
     let tcp = |scheduling| Transport::Tcp {
         config: TcpConfig::tuned(),

@@ -35,7 +35,6 @@ fn skewed_lineitem(rows: usize) -> Table {
     )
 }
 
-
 fn unit_imbalance(cluster: &Cluster, nodes: u16, engine: EngineKind) -> f64 {
     // Parallel units: whole servers under hybrid parallelism (any worker
     // consumes any message), individual workers under classic exchange

@@ -103,31 +103,6 @@ pub fn banner(what: &str, paper_ref: &str) {
     println!();
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn geometric_mean_of_equal_times() {
-        let s = SuiteResult {
-            per_query: vec![
-                (1, Duration::from_millis(100)),
-                (2, Duration::from_millis(100)),
-            ],
-            bytes_shuffled: 0,
-            messages: 0,
-        };
-        assert!((s.geometric_mean() - 0.1).abs() < 1e-9);
-        assert_eq!(s.total(), Duration::from_millis(200));
-        assert!((s.queries_per_hour() - 36_000.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn ms_formats() {
-        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
-    }
-}
-
 /// Ideal-parallel-compute correction for constrained hosts.
 ///
 /// The simulated cluster's nodes are threads; on a host with fewer cores
@@ -161,3 +136,28 @@ pub fn rescaled_link(link: hsqp_net::LinkSpec) -> hsqp_net::LinkSpec {
 
 /// See [`rescaled_link`].
 pub const LINK_RESCALE: f64 = 1.0 / 32.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_times() {
+        let s = SuiteResult {
+            per_query: vec![
+                (1, Duration::from_millis(100)),
+                (2, Duration::from_millis(100)),
+            ],
+            bytes_shuffled: 0,
+            messages: 0,
+        };
+        assert!((s.geometric_mean() - 0.1).abs() < 1e-9);
+        assert_eq!(s.total(), Duration::from_millis(200));
+        assert!((s.queries_per_hour() - 36_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+    }
+}

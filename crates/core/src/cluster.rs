@@ -256,8 +256,7 @@ impl Cluster {
         for i in 0..n {
             let node = NodeId(i);
             let topology = Arc::new(Topology::new(cfg.sockets, cores_per_socket, cost));
-            let classic_units =
-                (cfg.engine == EngineKind::Classic).then_some(cfg.workers_per_node);
+            let classic_units = (cfg.engine == EngineKind::Classic).then_some(cfg.workers_per_node);
             let hub_queues = match classic_units {
                 Some(u) => u as usize,
                 None => cfg.sockets as usize,
@@ -423,10 +422,7 @@ impl Cluster {
                 // Bind row 0 of the stage result as parameters, in column
                 // order. (The driver broadcasts these tiny scalars; the
                 // paper piggybacks such values on the control channel.)
-                assert!(
-                    coordinator.rows() >= 1,
-                    "parameter stage produced no rows"
-                );
+                assert!(coordinator.rows() >= 1, "parameter stage produced no rows");
                 for c in 0..coordinator.schema().len() {
                     params.push(coordinator.value(0, c));
                 }
@@ -450,9 +446,7 @@ impl Cluster {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
-                .map(|ctx| {
-                    scope.spawn(move || NodeExec::new(ctx, params, base).execute(plan))
-                })
+                .map(|ctx| scope.spawn(move || NodeExec::new(ctx, params, base).execute(plan)))
                 .collect();
             handles
                 .into_iter()
@@ -522,10 +516,8 @@ mod tests {
     fn single_node_scan_and_aggregate() {
         let c = Cluster::start(ClusterConfig::quick(1)).unwrap();
         c.load_tpch(0.001).unwrap();
-        let plan = Plan::scan_cols(TpchTable::Lineitem, &["l_quantity"]).aggregate(
-            &[],
-            vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")],
-        );
+        let plan = Plan::scan_cols(TpchTable::Lineitem, &["l_quantity"])
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]);
         let r = c.run_plan(&plan).unwrap();
         assert_eq!(r.row_count(), 1);
         assert!(r.table.value(0, 0).as_i64() > 1000);
@@ -539,10 +531,7 @@ mod tests {
             .repartition(&["l_orderkey"])
             .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")])
             .gather()
-            .aggregate(
-                &[],
-                vec![AggSpec::new(AggFunc::Sum, col("cnt"), "total")],
-            );
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Sum, col("cnt"), "total")]);
         let single = {
             let c = Cluster::start(ClusterConfig::quick(1)).unwrap();
             c.load_tpch(0.002).unwrap();

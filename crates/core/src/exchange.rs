@@ -155,7 +155,8 @@ impl MessagePool {
         } else {
             self.registrations.fetch_add(1, Ordering::Relaxed);
             // Pin + register the fresh region with the HCA.
-            self.fabric.charge_send_cpu(self.node, self.registration_cost);
+            self.fabric
+                .charge_send_cpu(self.node, self.registration_cost);
         }
         (Vec::with_capacity(self.capacity + HEADER_LEN), socket)
     }
@@ -655,12 +656,7 @@ mod tests {
         for node in 0..2u16 {
             let ep = net.endpoint(NodeId(node));
             ep.post_recvs(1 << 20);
-            let pool = Arc::new(MessagePool::new(
-                Arc::clone(&fabric),
-                NodeId(node),
-                2,
-                4096,
-            ));
+            let pool = Arc::new(MessagePool::new(Arc::clone(&fabric), NodeId(node), 2, 4096));
             let cfg = MuxConfig {
                 node: NodeId(node),
                 nodes: 2,

@@ -111,8 +111,10 @@ impl<'a> NodeExec<'a> {
                 };
                 match project {
                     Some(names) => {
-                        let idx: Vec<usize> =
-                            names.iter().map(|n| filtered.schema().index_of(n)).collect();
+                        let idx: Vec<usize> = names
+                            .iter()
+                            .map(|n| filtered.schema().index_of(n))
+                            .collect();
                         filtered.project(&idx)
                     }
                     None => filtered,
@@ -229,8 +231,7 @@ impl<'a> NodeExec<'a> {
 
         match kind {
             ExchangeKind::HashPartition(keys) => {
-                let key_idx: Vec<usize> =
-                    keys.iter().map(|k| schema.index_of(k)).collect();
+                let key_idx: Vec<usize> = keys.iter().map(|k| schema.index_of(k)).collect();
                 self.partition_and_send(id, input, &key_idx);
             }
             ExchangeKind::Broadcast => self.broadcast_send(id, input),
@@ -327,15 +328,8 @@ impl<'a> NodeExec<'a> {
                 mem_socket.0 as usize
             };
             let data = Bytes::from(buf).slice(HEADER_LEN..);
-            ctx.hub.deliver(
-                id,
-                queue,
-                Some(RecvMsg {
-                    data,
-                    mem_socket,
-                }),
-                false,
-            );
+            ctx.hub
+                .deliver(id, queue, Some(RecvMsg { data, mem_socket }), false);
             ctx.pool.recycle(mem_socket);
         } else {
             ctx.to_mux
@@ -365,7 +359,11 @@ impl<'a> NodeExec<'a> {
             let bytes = Bytes::from(buf);
             ctx.hub.deliver(
                 id,
-                if ctx.is_classic() { 0 } else { socket.0 as usize },
+                if ctx.is_classic() {
+                    0
+                } else {
+                    socket.0 as usize
+                },
                 Some(RecvMsg {
                     data: bytes.slice(HEADER_LEN..),
                     mem_socket: socket,
@@ -396,9 +394,9 @@ impl<'a> NodeExec<'a> {
             ctx.pool.recycle(socket);
         };
 
-        let (mut buf, mut socket) =
-            ctx.pool
-                .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+        let (mut buf, mut socket) = ctx
+            .pool
+            .take(ctx.alloc_policy, worker_socket, &ctx.topology);
         buf.resize(HEADER_LEN, 0);
         for row in 0..input.rows() {
             ser.serialize_row(input, row, &mut buf);
@@ -427,9 +425,9 @@ impl<'a> NodeExec<'a> {
         }
         let ser = RowSerializer::new(input.schema());
         let worker_socket = ctx.driver.worker_socket(0);
-        let (mut buf, mut socket) =
-            ctx.pool
-                .take(ctx.alloc_policy, worker_socket, &ctx.topology);
+        let (mut buf, mut socket) = ctx
+            .pool
+            .take(ctx.alloc_policy, worker_socket, &ctx.topology);
         buf.resize(HEADER_LEN, 0);
         for row in 0..input.rows() {
             ser.serialize_row(input, row, &mut buf);

@@ -254,7 +254,7 @@ impl EvalVec {
 
     /// Whether row `i` is valid.
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |b| b.get(i))
+        self.validity.as_ref().is_none_or(|b| b.get(i))
     }
 
     /// The boolean mask, for filter predicates.
@@ -424,7 +424,11 @@ pub fn eval(expr: &Expr, table: &Table, range: Range<usize>, params: &[Value]) -
                 other => panic!("extract(year) needs a date column, got {other:?}"),
             };
             EvalVec {
-                data: VecData::I64(days.iter().map(|&d| hsqp_storage::year_of_date(d)).collect()),
+                data: VecData::I64(
+                    days.iter()
+                        .map(|&d| hsqp_storage::year_of_date(d))
+                        .collect(),
+                ),
                 validity: v.validity,
             }
         }
@@ -502,11 +506,7 @@ fn eval_cmp(op: CmpOp, a: &EvalVec, b: &EvalVec) -> EvalVec {
             let x = as_f64(&a.data);
             let y = as_f64(&b.data);
             for i in 0..n {
-                mask.push(
-                    x[i]
-                        .partial_cmp(&y[i])
-                        .is_some_and(|o| ord_ok(o)),
-                );
+                mask.push(x[i].partial_cmp(&y[i]).is_some_and(&ord_ok));
             }
         }
     }
@@ -572,7 +572,13 @@ fn eval_case(mask: &[bool], vt: EvalVec, ve: EvalVec) -> EvalVec {
     let validity = if vt.validity.is_some() || ve.validity.is_some() {
         Some(
             (0..n)
-                .map(|i| if mask[i] { vt.is_valid(i) } else { ve.is_valid(i) })
+                .map(|i| {
+                    if mask[i] {
+                        vt.is_valid(i)
+                    } else {
+                        ve.is_valid(i)
+                    }
+                })
                 .collect(),
         )
     } else {
@@ -662,7 +668,10 @@ mod tests {
             vec![
                 Column::I64(vec![1, 2, 3, 4], None),
                 Column::I64(vec![100, 250, 999, 0], None), // 1.00, 2.50, 9.99, 0
-                Column::Str(["apple", "banana", "apricot", "kiwi"].into_iter().collect(), None),
+                Column::Str(
+                    ["apple", "banana", "apricot", "kiwi"].into_iter().collect(),
+                    None,
+                ),
                 Column::I64(
                     vec![
                         hsqp_storage::date_from_ymd(1995, 1, 1),
@@ -762,9 +771,7 @@ mod tests {
 
     #[test]
     fn case_expression() {
-        let e = col("k")
-            .gt(lit(2))
-            .case(col("price"), litf(0.0));
+        let e = col("k").gt(lit(2)).case(col("price"), litf(0.0));
         let v = run(&e);
         assert_eq!(v.data, VecData::F64(vec![0.0, 0.0, 9.99, 0.0]));
     }

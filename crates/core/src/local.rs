@@ -1,4 +1,4 @@
-//! Morsel-driven parallelism inside one server (§3.2, [20]).
+//! Morsel-driven parallelism inside one server (§3.2, \[20\]).
 //!
 //! Query pipelines are parallelized by splitting their input into
 //! constant-size morsels that workers claim dynamically from a shared
@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn single_worker_runs_inline() {
         let d = driver(1, true);
-        let states = d.run(250, |_| Vec::new(), |s: &mut Vec<usize>, _, m| s.push(m.len()));
+        let states = d.run(
+            250,
+            |_| Vec::new(),
+            |s: &mut Vec<usize>, _, m| s.push(m.len()),
+        );
         assert_eq!(states.len(), 1);
         assert_eq!(states[0], vec![100, 100, 50]);
     }

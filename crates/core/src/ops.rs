@@ -97,7 +97,7 @@ impl JoinTable {
         let mut index: FxMap<Key, Vec<u32>> = FxMap::default();
         for row in 0..build.rows() {
             let key = key_of(&cols, row);
-            if key.iter().any(|k| *k == KeyPart::Null) {
+            if key.contains(&KeyPart::Null) {
                 continue; // NULL keys never join
             }
             index.entry(key).or_default().push(row as u32);
@@ -157,7 +157,7 @@ pub fn probe_join(
         |(probe_idx, build_idx), _, m| {
             for row in m.range() {
                 let key = key_of(&cols, row);
-                let matches = if key.iter().any(|k| *k == KeyPart::Null) {
+                let matches = if key.contains(&KeyPart::Null) {
                     None
                 } else {
                     table.index.get(&key)
@@ -255,7 +255,10 @@ enum AggState {
 impl AggState {
     fn new(func: AggFunc) -> Self {
         match func {
-            AggFunc::Sum => AggState::Sum { sum: 0.0, any: false },
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                any: false,
+            },
             AggFunc::Count => AggState::Count(0),
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
@@ -276,13 +279,13 @@ impl AggState {
             AggState::Count(c) => *c += 1,
             AggState::Min(cur) => {
                 let val = v.value(row);
-                if cur.as_ref().map_or(true, |c| value_lt(&val, c)) {
+                if cur.as_ref().is_none_or(|c| value_lt(&val, c)) {
                     *cur = Some(val);
                 }
             }
             AggState::Max(cur) => {
                 let val = v.value(row);
-                if cur.as_ref().map_or(true, |c| value_lt(c, &val)) {
+                if cur.as_ref().is_none_or(|c| value_lt(c, &val)) {
                     *cur = Some(val);
                 }
             }
@@ -311,14 +314,14 @@ impl AggState {
             (AggState::Count(c), AggState::Count(c2)) => *c += c2,
             (AggState::Min(cur), AggState::Min(other)) => {
                 if let Some(o) = other {
-                    if cur.as_ref().map_or(true, |c| value_lt(&o, c)) {
+                    if cur.as_ref().is_none_or(|c| value_lt(&o, c)) {
                         *cur = Some(o);
                     }
                 }
             }
             (AggState::Max(cur), AggState::Max(other)) => {
                 if let Some(o) = other {
-                    if cur.as_ref().map_or(true, |c| value_lt(c, &o)) {
+                    if cur.as_ref().is_none_or(|c| value_lt(c, &o)) {
                         *cur = Some(o);
                     }
                 }
@@ -393,7 +396,7 @@ pub fn aggregate(
         AggPhase::Final => aggs
             .iter()
             .map(|a| match a.func {
-                AggFunc::Sum => (AggFunc::Sum, Expr2::Col(format!("{}", a.name))),
+                AggFunc::Sum => (AggFunc::Sum, Expr2::Col(a.name.to_string())),
                 AggFunc::Count => (AggFunc::Sum, Expr2::Col(a.name.clone())),
                 AggFunc::Min => (AggFunc::Min, Expr2::Col(a.name.clone())),
                 AggFunc::Max => (AggFunc::Max, Expr2::Col(a.name.clone())),
@@ -423,9 +426,9 @@ pub fn aggregate(
                 .collect();
             for row in m.range() {
                 let key = key_of(&group_cols, row);
-                let states = map.entry(key).or_insert_with(|| {
-                    effective.iter().map(|(f, _)| AggState::new(*f)).collect()
-                });
+                let states = map
+                    .entry(key)
+                    .or_insert_with(|| effective.iter().map(|(f, _)| AggState::new(*f)).collect());
                 let local = row - m.start;
                 for (state, inp) in states.iter_mut().zip(&inputs) {
                     inp.update(state, local);
@@ -496,7 +499,13 @@ enum AggInput {
 }
 
 impl AggInput {
-    fn eval(e: &Expr2, _func: AggFunc, table: &Table, range: std::ops::Range<usize>, params: &[Value]) -> Self {
+    fn eval(
+        e: &Expr2,
+        _func: AggFunc,
+        table: &Table,
+        range: std::ops::Range<usize>,
+        params: &[Value],
+    ) -> Self {
         match e {
             Expr2::Expr(x) => AggInput::Vec(eval(x, table, range, params)),
             Expr2::Col(name) => AggInput::Vec(eval(
@@ -506,7 +515,12 @@ impl AggInput {
                 params,
             )),
             Expr2::Pair(s, c) => AggInput::Pair(
-                eval(&crate::expr::Expr::Col(s.clone()), table, range.clone(), params),
+                eval(
+                    &crate::expr::Expr::Col(s.clone()),
+                    table,
+                    range.clone(),
+                    params,
+                ),
                 eval(&crate::expr::Expr::Col(c.clone()), table, range, params),
             ),
         }
@@ -559,13 +573,20 @@ fn build_agg_output(
                 fields.push(Field::new(a.name.clone(), DataType::Int64));
             }
             (_, AggFunc::Min) | (_, AggFunc::Max) => {
-                let idx = aggs.iter().position(|x| std::ptr::eq(x, a)).expect("in aggs");
+                let idx = aggs
+                    .iter()
+                    .position(|x| std::ptr::eq(x, a))
+                    .expect("in aggs");
                 fields.push(Field::nullable(a.name.clone(), minmax_types[idx]));
             }
         }
     }
     let schema = Schema::new(fields);
-    let mut columns: Vec<Column> = schema.fields().iter().map(|f| Column::empty(f.dtype)).collect();
+    let mut columns: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| Column::empty(f.dtype))
+        .collect();
 
     for (key, states) in merged {
         for (i, part) in key.iter().enumerate() {
@@ -624,7 +645,6 @@ fn build_agg_output(
     Table::new(schema, columns)
 }
 
-
 // ---------------------------------------------------------------------------
 // Sort
 // ---------------------------------------------------------------------------
@@ -671,8 +691,9 @@ mod tests {
         ]);
         let n = 200;
         let keys: Vec<i64> = (0..n).collect();
-        let grps: hsqp_storage::StringColumn =
-            (0..n).map(|i| if i % 2 == 0 { "even" } else { "odd" }).collect();
+        let grps: hsqp_storage::StringColumn = (0..n)
+            .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+            .collect();
         let vals: Vec<i64> = (0..n).map(|i| i * 100).collect();
         Table::new(
             schema,

@@ -259,7 +259,13 @@ impl Plan {
     }
 
     /// Join `self` (probe) with `build`.
-    pub fn join(self, build: Plan, probe_keys: &[&str], build_keys: &[&str], kind: JoinKind) -> Plan {
+    pub fn join(
+        self,
+        build: Plan,
+        probe_keys: &[&str],
+        build_keys: &[&str],
+        kind: JoinKind,
+    ) -> Plan {
         assert_eq!(
             probe_keys.len(),
             build_keys.len(),
@@ -320,7 +326,11 @@ impl Plan {
     /// Number of [`Plan::Exchange`] operators in the tree.
     pub fn exchange_count(&self) -> usize {
         let own = usize::from(matches!(self, Plan::Exchange { .. }));
-        own + self.children().iter().map(|c| c.exchange_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.exchange_count())
+            .sum::<usize>()
     }
 
     /// Direct children of this node.

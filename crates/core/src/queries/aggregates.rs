@@ -82,8 +82,7 @@ pub fn q13() -> Query {
         col("o_comment").like("%special%requests%").not(),
     )
     .repartition(&["o_custkey"]);
-    let customer =
-        Plan::scan_cols(TpchTable::Customer, &["c_custkey"]).repartition(&["c_custkey"]);
+    let customer = Plan::scan_cols(TpchTable::Customer, &["c_custkey"]).repartition(&["c_custkey"]);
     let joined = customer.join(orders, &["c_custkey"], &["o_custkey"], JoinKind::LeftOuter);
     // Already partitioned by c_custkey → local count per customer.
     let per_customer = joined.aggregate(
@@ -128,7 +127,12 @@ pub fn q16() -> Query {
     .broadcast();
     let joined = partsupp
         .join(part, &["ps_partkey"], &["p_partkey"], JoinKind::Inner)
-        .join(complainers, &["ps_suppkey"], &["s_suppkey"], JoinKind::LeftAnti);
+        .join(
+            complainers,
+            &["ps_suppkey"],
+            &["s_suppkey"],
+            JoinKind::LeftAnti,
+        );
     let agg = dist_agg_nopre(
         joined,
         &["p_brand", "p_type", "p_size"],

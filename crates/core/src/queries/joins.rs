@@ -60,7 +60,12 @@ pub fn q3() -> Query {
         col("l_shipdate").gt(lit(cutoff)),
     )
     .repartition(&["l_orderkey"]);
-    let joined = lineitem.join(cust_orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner);
+    let joined = lineitem.join(
+        cust_orders,
+        &["l_orderkey"],
+        &["o_orderkey"],
+        JoinKind::Inner,
+    );
     // Partitioned by orderkey → grouping by it is node-local.
     let agg = joined.aggregate(
         &["l_orderkey", "o_orderdate", "o_shippriority"],
@@ -125,10 +130,7 @@ pub fn q5() -> Query {
         &["n_name"],
         vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
     );
-    Query::single(
-        5,
-        agg.gather().sort(vec![SortKey::desc("revenue")], None),
-    )
+    Query::single(5, agg.gather().sort(vec![SortKey::desc("revenue")], None))
 }
 
 /// Q7 — volume shipping between FRANCE and GERMANY.
@@ -196,7 +198,12 @@ pub fn q7() -> Query {
     )
     .repartition(&["l_orderkey"]);
     let joined = lineitem
-        .join(orders_cust, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .join(
+            orders_cust,
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+        )
         .filter(
             col("supp_nation")
                 .eq(lits("FRANCE"))
@@ -257,7 +264,12 @@ pub fn q8() -> Query {
             "l_discount",
         ],
     )
-    .join(part.broadcast(), &["l_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    .join(
+        part.broadcast(),
+        &["l_partkey"],
+        &["p_partkey"],
+        JoinKind::LeftSemi,
+    )
     .join(
         supp_nation.broadcast(),
         &["l_suppkey"],
@@ -366,8 +378,8 @@ pub fn q9() -> Query {
         JoinKind::Inner,
     )
     .repartition(&["l_orderkey"]);
-    let orders =
-        Plan::scan_cols(TpchTable::Orders, &["o_orderkey", "o_orderdate"]).repartition(&["o_orderkey"]);
+    let orders = Plan::scan_cols(TpchTable::Orders, &["o_orderkey", "o_orderdate"])
+        .repartition(&["o_orderkey"]);
     let joined = lineitem
         .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
         .map(vec![
@@ -385,10 +397,8 @@ pub fn q9() -> Query {
     );
     Query::single(
         9,
-        agg.gather().sort(
-            vec![SortKey::asc("nation"), SortKey::desc("o_year")],
-            None,
-        ),
+        agg.gather()
+            .sort(vec![SortKey::asc("nation"), SortKey::desc("o_year")], None),
     )
 }
 
@@ -445,8 +455,7 @@ pub fn q10() -> Query {
     );
     Query::single(
         10,
-        agg.gather()
-            .sort(vec![SortKey::desc("revenue")], Some(20)),
+        agg.gather().sort(vec![SortKey::desc("revenue")], Some(20)),
     )
 }
 
@@ -507,8 +516,8 @@ pub fn q14() -> Query {
             .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 10, 1)))),
     )
     .repartition(&["l_partkey"]);
-    let part = Plan::scan_cols(TpchTable::Part, &["p_partkey", "p_type"])
-        .repartition(&["p_partkey"]);
+    let part =
+        Plan::scan_cols(TpchTable::Part, &["p_partkey", "p_type"]).repartition(&["p_partkey"]);
     let joined = lineitem
         .join(part, &["l_partkey"], &["p_partkey"], JoinKind::Inner)
         .map(vec![
@@ -559,21 +568,27 @@ pub fn q19() -> Query {
     let joined = lineitem
         .join(part, &["l_partkey"], &["p_partkey"], JoinKind::Inner)
         .filter(
-            window("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-                .or(window(
-                    "Brand#23",
-                    &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
-                    10.0,
-                    20.0,
-                    10,
-                ))
-                .or(window(
-                    "Brand#34",
-                    &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
-                    20.0,
-                    30.0,
-                    15,
-                )),
+            window(
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1.0,
+                11.0,
+                5,
+            )
+            .or(window(
+                "Brand#23",
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10.0,
+                20.0,
+                10,
+            ))
+            .or(window(
+                "Brand#34",
+                &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                20.0,
+                30.0,
+                15,
+            )),
         );
     let agg = global_agg(
         joined,

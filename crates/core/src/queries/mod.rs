@@ -7,7 +7,7 @@
 //! group-by results. Correlated subqueries are manually decorrelated the
 //! way HyPer's optimizer unnests them; scalar subqueries (e.g. Q17's
 //! per-part average) become earlier *stages* whose first result row binds
-//! [`Expr::Param`] values for the final stage.
+//! [`Expr::Param`](crate::expr::Expr::Param) values for the final stage.
 
 use crate::error::EngineError;
 use crate::plan::Plan;

@@ -47,26 +47,29 @@ fn q2_eur_partsupp() -> Plan {
         &["n_nationkey"],
         JoinKind::Inner,
     );
-    Plan::scan_cols(TpchTable::Partsupp, &["ps_partkey", "ps_suppkey", "ps_supplycost"])
-        .repartition(&["ps_partkey"])
-        .join(
-            eur_supp.broadcast(),
-            &["ps_suppkey"],
-            &["s_suppkey"],
-            JoinKind::Inner,
-        )
-        // The cost must become a float so it can equi-join against the
-        // MIN() aggregate below (same doubles, bit-identical).
-        .map(vec![
-            MapExpr::new("ps_partkey", col("ps_partkey")),
-            MapExpr::new("cost", col("ps_supplycost")),
-            MapExpr::new("s_acctbal", col("s_acctbal")),
-            MapExpr::new("s_name", col("s_name")),
-            MapExpr::new("n_name", col("n_name")),
-            MapExpr::new("s_address", col("s_address")),
-            MapExpr::new("s_phone", col("s_phone")),
-            MapExpr::new("s_comment", col("s_comment")),
-        ])
+    Plan::scan_cols(
+        TpchTable::Partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    )
+    .repartition(&["ps_partkey"])
+    .join(
+        eur_supp.broadcast(),
+        &["ps_suppkey"],
+        &["s_suppkey"],
+        JoinKind::Inner,
+    )
+    // The cost must become a float so it can equi-join against the
+    // MIN() aggregate below (same doubles, bit-identical).
+    .map(vec![
+        MapExpr::new("ps_partkey", col("ps_partkey")),
+        MapExpr::new("cost", col("ps_supplycost")),
+        MapExpr::new("s_acctbal", col("s_acctbal")),
+        MapExpr::new("s_name", col("s_name")),
+        MapExpr::new("n_name", col("n_name")),
+        MapExpr::new("s_address", col("s_address")),
+        MapExpr::new("s_phone", col("s_phone")),
+        MapExpr::new("s_comment", col("s_comment")),
+    ])
 }
 
 /// Q2 — minimum-cost supplier. The correlated `min(ps_supplycost)` becomes
@@ -75,13 +78,10 @@ pub fn q2() -> Query {
     let part = Plan::scan_filtered(
         TpchTable::Part,
         &["p_partkey", "p_mfgr"],
-        col("p_size")
-            .eq(lit(15))
-            .and(col("p_type").like("%BRASS")),
+        col("p_size").eq(lit(15)).and(col("p_type").like("%BRASS")),
     )
     .repartition(&["p_partkey"]);
-    let candidates = q2_eur_partsupp()
-        .join(part, &["ps_partkey"], &["p_partkey"], JoinKind::Inner);
+    let candidates = q2_eur_partsupp().join(part, &["ps_partkey"], &["p_partkey"], JoinKind::Inner);
     // Per-part minimum over the same candidate set (already co-partitioned
     // by partkey, so the aggregate is node-local).
     let min_cost = candidates
@@ -130,7 +130,12 @@ pub fn q4() -> Query {
         col("l_commitdate").lt(col("l_receiptdate")),
     )
     .repartition(&["l_orderkey"]);
-    let matched = orders.join(late_lines, &["o_orderkey"], &["l_orderkey"], JoinKind::LeftSemi);
+    let matched = orders.join(
+        late_lines,
+        &["o_orderkey"],
+        &["l_orderkey"],
+        JoinKind::LeftSemi,
+    );
     let agg = dist_agg(
         matched,
         &["o_orderpriority"],
@@ -144,18 +149,17 @@ pub fn q4() -> Query {
 }
 
 fn q11_germany_partsupp() -> Plan {
-    let german_supp = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"])
-        .join(
-            Plan::scan_filtered(
-                TpchTable::Nation,
-                &["n_nationkey"],
-                col("n_name").eq(lits("GERMANY")),
-            )
-            .broadcast(),
-            &["s_nationkey"],
+    let german_supp = Plan::scan_cols(TpchTable::Supplier, &["s_suppkey", "s_nationkey"]).join(
+        Plan::scan_filtered(
+            TpchTable::Nation,
             &["n_nationkey"],
-            JoinKind::LeftSemi,
-        );
+            col("n_name").eq(lits("GERMANY")),
+        )
+        .broadcast(),
+        &["s_nationkey"],
+        &["n_nationkey"],
+        JoinKind::LeftSemi,
+    );
     Plan::scan_cols(
         TpchTable::Partsupp,
         &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
@@ -225,12 +229,7 @@ pub fn q15() -> Query {
         &["s_suppkey", "s_name", "s_address", "s_phone"],
     )
     .repartition(&["s_suppkey"]);
-    let joined = supplier.join(
-        winners,
-        &["s_suppkey"],
-        &["l_suppkey"],
-        JoinKind::Inner,
-    );
+    let joined = supplier.join(winners, &["s_suppkey"], &["l_suppkey"], JoinKind::Inner);
     Query::staged(
         15,
         vec![
@@ -271,7 +270,11 @@ pub fn q17() -> Query {
     .filter(col("l_quantity").lt(col("threshold")));
     let agg = global_agg(
         lineitem,
-        vec![AggSpec::new(AggFunc::Sum, col("l_extendedprice"), "sum_price")],
+        vec![AggSpec::new(
+            AggFunc::Sum,
+            col("l_extendedprice"),
+            "sum_price",
+        )],
     );
     let yearly = agg.map(vec![MapExpr::new(
         "avg_yearly",
@@ -294,10 +297,15 @@ pub fn q18() -> Query {
     )
     .repartition(&["o_orderkey"])
     // big_orders is partitioned by l_orderkey — co-partitioned.
-    .join(big_orders, &["o_orderkey"], &["l_orderkey"], JoinKind::Inner)
+    .join(
+        big_orders,
+        &["o_orderkey"],
+        &["l_orderkey"],
+        JoinKind::Inner,
+    )
     .repartition(&["o_custkey"]);
-    let customer = Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_name"])
-        .repartition(&["c_custkey"]);
+    let customer =
+        Plan::scan_cols(TpchTable::Customer, &["c_custkey", "c_name"]).repartition(&["c_custkey"]);
     let joined = orders.join(customer, &["o_custkey"], &["c_custkey"], JoinKind::Inner);
     Query::single(
         18,
@@ -342,7 +350,12 @@ pub fn q20() -> Query {
         TpchTable::Partsupp,
         &["ps_partkey", "ps_suppkey", "ps_availqty"],
     )
-    .join(forest_parts, &["ps_partkey"], &["p_partkey"], JoinKind::LeftSemi)
+    .join(
+        forest_parts,
+        &["ps_partkey"],
+        &["p_partkey"],
+        JoinKind::LeftSemi,
+    )
     .repartition(&["ps_partkey", "ps_suppkey"])
     .join(
         shipped,
@@ -379,10 +392,7 @@ pub fn q20() -> Query {
         &["ps_suppkey"],
         JoinKind::LeftSemi,
     );
-    Query::single(
-        20,
-        result.gather().sort(vec![SortKey::asc("s_name")], None),
-    )
+    Query::single(20, result.gather().sort(vec![SortKey::asc("s_name")], None))
 }
 
 /// Q21 — suppliers who kept orders waiting. The EXISTS / NOT EXISTS pair
@@ -450,10 +460,20 @@ pub fn q21() -> Query {
     )
     .repartition(&["l_orderkey"]);
     let joined = late_lines
-        .join(f_orders, &["l_orderkey"], &["o_orderkey"], JoinKind::LeftSemi)
+        .join(
+            f_orders,
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::LeftSemi,
+        )
         // all_supp / late_supp are partitioned by orderkey — co-partitioned.
         .join(all_supp, &["l_orderkey"], &["ao_orderkey"], JoinKind::Inner)
-        .join(late_supp, &["l_orderkey"], &["lo_orderkey"], JoinKind::Inner)
+        .join(
+            late_supp,
+            &["l_orderkey"],
+            &["lo_orderkey"],
+            JoinKind::Inner,
+        )
         .filter(col("n_supp").gt(lit(1)).and(col("n_late_supp").eq(lit(1))));
     let agg = dist_agg(
         joined,
@@ -493,8 +513,7 @@ pub fn q22() -> Query {
     )
     .filter(col("c_acctbal").gt(Expr::Param(0)))
     .repartition(&["c_custkey"]);
-    let orders =
-        Plan::scan_cols(TpchTable::Orders, &["o_custkey"]).repartition(&["o_custkey"]);
+    let orders = Plan::scan_cols(TpchTable::Orders, &["o_custkey"]).repartition(&["o_custkey"]);
     let no_orders = customers
         .join(orders, &["c_custkey"], &["o_custkey"], JoinKind::LeftAnti)
         .map(vec![

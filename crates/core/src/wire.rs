@@ -259,7 +259,9 @@ enum ColBuilder {
 impl ColBuilder {
     fn new(dtype: DataType) -> Self {
         match dtype {
-            DataType::Int64 | DataType::Date | DataType::Decimal => ColBuilder::I64(Vec::new(), None),
+            DataType::Int64 | DataType::Date | DataType::Decimal => {
+                ColBuilder::I64(Vec::new(), None)
+            }
             DataType::Float64 => ColBuilder::F64(Vec::new(), None),
             DataType::Utf8 => ColBuilder::Str(StringColumn::new(), None),
         }

@@ -105,7 +105,9 @@ impl Fabric {
             epoch: Instant::now(),
             cfg,
             egress: (0..nodes).map(|_| Mutex::new(0.0)).collect(),
-            ingress: (0..nodes).map(|_| Mutex::new(IngressPort::default())).collect(),
+            ingress: (0..nodes)
+                .map(|_| Mutex::new(IngressPort::default()))
+                .collect(),
             stats: (0..nodes).map(|_| NetStats::new()).collect(),
         }
     }
@@ -343,7 +345,11 @@ mod tests {
         let f = Fabric::new(2, cfg);
         let before = f.now();
         let d = f.reserve(NodeId(0), NodeId(1), 1000, 1);
-        assert!(d - before >= 0.050, "delivery only {} after now", d - before);
+        assert!(
+            d - before >= 0.050,
+            "delivery only {} after now",
+            d - before
+        );
     }
 
     #[test]

@@ -21,16 +21,13 @@ impl LinkSpec {
     /// InfiniBand 4×SDR: 1 GB/s, 5 µs latency (2003).
     pub const IB_4X_SDR: LinkSpec = LinkSpec::new("4xSDR", 1.0e9, Duration::from_micros(5), 2003);
     /// InfiniBand 4×DDR: 2 GB/s, 2.5 µs latency (2005).
-    pub const IB_4X_DDR: LinkSpec =
-        LinkSpec::new("4xDDR", 2.0e9, Duration::from_nanos(2500), 2005);
+    pub const IB_4X_DDR: LinkSpec = LinkSpec::new("4xDDR", 2.0e9, Duration::from_nanos(2500), 2005);
     /// InfiniBand 4×QDR: 4 GB/s, 1.3 µs latency (2007) — the paper's cluster.
-    pub const IB_4X_QDR: LinkSpec =
-        LinkSpec::new("4xQDR", 4.0e9, Duration::from_nanos(1300), 2007);
+    pub const IB_4X_QDR: LinkSpec = LinkSpec::new("4xQDR", 4.0e9, Duration::from_nanos(1300), 2007);
     /// InfiniBand 4×FDR: 6.8 GB/s, 0.7 µs latency (2011).
     pub const IB_4X_FDR: LinkSpec = LinkSpec::new("4xFDR", 6.8e9, Duration::from_nanos(700), 2011);
     /// InfiniBand 4×EDR: 12.1 GB/s, 0.5 µs latency (2014).
-    pub const IB_4X_EDR: LinkSpec =
-        LinkSpec::new("4xEDR", 12.1e9, Duration::from_nanos(500), 2014);
+    pub const IB_4X_EDR: LinkSpec = LinkSpec::new("4xEDR", 12.1e9, Duration::from_nanos(500), 2014);
 
     /// All standards of Table 1 in introduction order.
     pub const TABLE1: [LinkSpec; 6] = [

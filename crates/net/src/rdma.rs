@@ -218,7 +218,8 @@ impl RdmaEndpoint {
     /// no posted receive work requests (RNR back pressure).
     pub fn post_send(&self, dst: NodeId, region: MemoryRegion) {
         self.consume_credit(dst);
-        self.fabric.charge_send_cpu(self.node, self.cfg.post_wr_cost);
+        self.fabric
+            .charge_send_cpu(self.node, self.cfg.post_wr_cost);
         let len = region.len();
         // The HCA reads the buffer once; with DDIO it serves from LLC.
         self.fabric.record_membus(self.node, len as u64, 0);
@@ -236,7 +237,8 @@ impl RdmaEndpoint {
     /// Zero-copy and credit-consuming like [`RdmaEndpoint::post_send`].
     pub fn post_send_bytes(&self, dst: NodeId, payload: Bytes) {
         self.consume_credit(dst);
-        self.fabric.charge_send_cpu(self.node, self.cfg.post_wr_cost);
+        self.fabric
+            .charge_send_cpu(self.node, self.cfg.post_wr_cost);
         let len = payload.len();
         self.fabric.record_membus(self.node, len as u64, 0);
         let delivery = self.fabric.reserve(self.node, dst, len.max(1), 1);

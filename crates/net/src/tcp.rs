@@ -204,10 +204,7 @@ impl TcpConfig {
         if self.numa_local_nic {
             (0, (bytes as f64 * 1.02) as u64)
         } else {
-            (
-                (bytes as f64 * 1.5) as u64,
-                (bytes as f64 * 2.33) as u64,
-            )
+            ((bytes as f64 * 1.5) as u64, (bytes as f64 * 2.33) as u64)
         }
     }
 }
@@ -338,8 +335,8 @@ impl TcpEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::LinkSpec;
     use crate::fabric::FabricConfig;
+    use crate::link::LinkSpec;
 
     fn qdr_fabric(nodes: u16) -> Arc<Fabric> {
         Arc::new(Fabric::new(nodes, FabricConfig::qdr()))

@@ -300,15 +300,11 @@ fn push_validity(bm: &mut Option<Bitmap>, new_len: usize, valid: bool) {
 }
 
 fn gather_validity(bm: &Option<Bitmap>, indices: &[usize]) -> Option<Bitmap> {
-    bm.as_ref().map(|b| indices.iter().map(|&i| b.get(i)).collect())
+    bm.as_ref()
+        .map(|b| indices.iter().map(|&i| b.get(i)).collect())
 }
 
-fn append_validity(
-    abm: &mut Option<Bitmap>,
-    a_len: usize,
-    bbm: &Option<Bitmap>,
-    b_len: usize,
-) {
+fn append_validity(abm: &mut Option<Bitmap>, a_len: usize, bbm: &Option<Bitmap>, b_len: usize) {
     match (abm.as_mut(), bbm) {
         (None, None) => {}
         (Some(a), None) => {

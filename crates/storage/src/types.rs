@@ -110,7 +110,7 @@ pub fn date_from_ymd(y: i64, m: u32, d: u32) -> i64 {
     assert!((1..=31).contains(&d), "day {d} out of range");
     let y = if m <= 2 { y - 1 } else { y };
     let era = if y >= 0 { y } else { y - 399 } / 400;
-    let yoe = (y - era * 400) as i64; // [0, 399]
+    let yoe = y - era * 400; // [0, 399]
     let mp = i64::from((m + 9) % 12); // [0, 11]
     let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
@@ -177,10 +177,7 @@ mod tests {
         assert_eq!(date_from_ymd(1992, 1, 1), 8035);
         assert_eq!(date_from_ymd(1998, 12, 31), 10_591);
         // Leap day.
-        assert_eq!(
-            date_from_ymd(1996, 3, 1) - date_from_ymd(1996, 2, 28),
-            2
-        );
+        assert_eq!(date_from_ymd(1996, 3, 1) - date_from_ymd(1996, 2, 28), 2);
     }
 
     #[test]

@@ -167,7 +167,12 @@ fn gen_nation(rng: &mut StdRng) -> Table {
     let comments: StringColumn = (0..25).map(|_| text::comment(rng, 5)).collect();
     Table::new(
         schema::nation(),
-        vec![keys, Column::Str(names, None), regions, Column::Str(comments, None)],
+        vec![
+            keys,
+            Column::Str(names, None),
+            regions,
+            Column::Str(comments, None),
+        ],
     )
 }
 
@@ -409,7 +414,10 @@ fn gen_orders_lineitem(
             l_shipinstruct
                 .push(text::SHIP_INSTRUCT[rng.random_range(0..text::SHIP_INSTRUCT.len())]);
             l_shipmode.push(text::SHIP_MODES[rng.random_range(0..text::SHIP_MODES.len())]);
-            { let w = rng.random_range(2..5); l_comment.push(&text::comment(rng, w)); }
+            {
+                let w = rng.random_range(2..5);
+                l_comment.push(&text::comment(rng, w));
+            }
             total += ext * (100 - disc) / 100 * (100 + tax) / 100;
         }
         o_orderkey.push(ok);
@@ -530,7 +538,11 @@ mod tests {
     fn foreign_keys_are_in_range() {
         let db = tiny();
         let customers = db.table(TpchTable::Customer).rows() as i64;
-        for &c in db.table(TpchTable::Orders).column_by_name("o_custkey").i64_values() {
+        for &c in db
+            .table(TpchTable::Orders)
+            .column_by_name("o_custkey")
+            .i64_values()
+        {
             assert!((1..=customers).contains(&c));
         }
         for &nk in db
@@ -553,7 +565,9 @@ mod tests {
             .copied()
             .collect();
         let total = db.table(TpchTable::Customer).rows();
-        let never = (1..=total as i64).filter(|k| !with_orders.contains(k)).count();
+        let never = (1..=total as i64)
+            .filter(|k| !with_orders.contains(k))
+            .count();
         // Customers with custkey % 3 == 0 never order → at least ~1/3.
         assert!(never * 3 >= total, "only {never} of {total} orderless");
     }
@@ -596,8 +610,8 @@ mod tests {
         let l_ok = li.column_by_name("l_orderkey").i64_values();
         let l_st = li.column_by_name("l_linestatus").str_values();
         let mut per_order: std::collections::HashMap<i64, (u32, u32)> = Default::default();
-        for i in 0..li.rows() {
-            let e = per_order.entry(l_ok[i]).or_default();
+        for (i, &ok) in l_ok.iter().enumerate() {
+            let e = per_order.entry(ok).or_default();
             if l_st.get(i) == "O" {
                 e.0 += 1;
             } else {

@@ -37,10 +37,36 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Part-name colors (spec P_NAME picks five of these).
 pub const COLORS: [&str; 30] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
 ];
 
 /// P_TYPE syllable 1.
@@ -56,7 +82,13 @@ pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Customer market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -74,21 +106,56 @@ pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "M
 
 /// Filler nouns for comment text.
 const NOUNS: [&str; 16] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
-    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
     "dolphins",
 ];
 
 /// Filler verbs/adverbs for comment text.
 const VERBS: [&str; 14] = [
-    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "solve", "affix",
-    "engage", "doze", "run", "lose",
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "cajole",
+    "boost",
+    "detect",
+    "integrate",
+    "solve",
+    "affix",
+    "engage",
+    "doze",
+    "run",
+    "lose",
 ];
 
 /// Filler adjectives for comment text.
 const ADJECTIVES: [&str; 12] = [
-    "quickly", "slowly", "carefully", "blithely", "furiously", "express", "final", "ironic",
-    "pending", "regular", "silent", "bold",
+    "quickly",
+    "slowly",
+    "carefully",
+    "blithely",
+    "furiously",
+    "express",
+    "final",
+    "ironic",
+    "pending",
+    "regular",
+    "silent",
+    "bold",
 ];
 
 /// Generate a nonsense comment of roughly `words` words.

@@ -48,7 +48,11 @@ fn revenue_by_priority() -> Plan {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = TpchDb::generate(0.01);
     let plan = revenue_by_priority();
-    assert_eq!(plan.exchange_count(), 4, "two repartitions, one final gather");
+    assert_eq!(
+        plan.exchange_count(),
+        4,
+        "two repartitions, one final gather"
+    );
     let _ = ExchangeKind::Gather; // (re-exported for plan inspection)
 
     for (name, transport) in [

@@ -9,9 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hsqp::net::{
-    Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
-};
+use hsqp::net::{Fabric, FabricConfig, NodeId, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork};
 
 const SIZE: usize = 512 * 1024;
 const MESSAGES: usize = 100;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a Zipf-skewed key distribution overloads the busiest one.
     println!("hash-partition overload factor (Zipf z = 0.84):");
     for units in [3usize, 6, 48, 240] {
-        println!("  {units:>4} units: {:.2}x fair share", imbalance(&keys, units));
+        println!(
+            "  {units:>4} units: {:.2}x fair share",
+            imbalance(&keys, units)
+        );
     }
     println!();
 

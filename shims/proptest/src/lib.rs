@@ -1,0 +1,457 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_filter`, [`any`] for
+//! primitives, range and simple-regex string strategies, tuple /
+//! collection / option combinators, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros. Each test runs a fixed
+//! number of deterministically seeded cases (no shrinking): a failure
+//! message reports the case number so a run can be reproduced — seeds
+//! derive only from the test name and case index.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u32 = 64;
+
+/// A failed property within a test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64 stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name and case index, so every run of a given test
+    /// binary explores the same sequence of cases.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keep only values satisfying `pred`; regenerates on rejection.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy for any value of a primitive type (see [`any`]).
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The standard strategy for `T`: full-domain random values.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        // Mix full-domain values with small ones, which exercise more
+        // interesting arithmetic paths than uniform 64-bit noise.
+        match rng.next_u64() % 4 {
+            0 => rng.next_u64() as i64,
+            1 => (rng.below(2001) as i64) - 1000,
+            2 => (rng.below(21) as i64) - 10,
+            _ => (rng.below(200_000) as i64) - 100_000,
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        match rng.next_u64() % 4 {
+            // Raw bit patterns: covers subnormals, infinities, NaNs.
+            0 => f64::from_bits(rng.next_u64()),
+            1 => (rng.below(2_000_001) as f64 - 1_000_000.0) / 1000.0,
+            2 => 0.0,
+            _ => (rng.below(2001) as f64) - 1000.0,
+        }
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// A string literal is a strategy via a small regex subset:
+// `[class]{m,n}` where `class` lists literal characters and `a-z` ranges.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let inner = pattern
+        .strip_prefix('[')
+        .and_then(|r| r.split_once(']'))
+        .unwrap_or_else(|| panic!("unsupported string strategy pattern {pattern:?}"));
+    let (class, rest) = inner;
+    let (lo, hi) = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .and_then(|r| r.split_once(','))
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for c in chars[i]..=chars[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with `len` drawn from `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        assert!(length.start < length.end, "empty length range");
+        VecStrategy {
+            element,
+            len: length,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`: `None` about a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wrap `inner`'s values in `Some`, mixing in `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $fmt:literal $(, $args:expr)* $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                concat!("assertion failed: {}: ", $fmt),
+                stringify!($cond)
+                $(, $args)*
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $fmt:literal $(, $args:expr)* $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                concat!("assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n ", $fmt),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+                $(, $args)*
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn` runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property failed at case {case}/{}: {e}", $crate::CASES);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_pattern_parses_ranges() {
+        let mut rng = super::TestRng::for_case("string_pattern", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c%]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '%')));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -50i64..50, n in 1usize..16) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..16).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_option_compose(
+            v in super::collection::vec(super::option::of(any::<i64>()), 0..10)
+        ) {
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn filter_and_map_apply(
+            f in any::<f64>().prop_filter("finite", |f| f.is_finite()),
+            s in (0i64..100).prop_map(|x| x * 2)
+        ) {
+            prop_assert!(f.is_finite());
+            prop_assert_eq!(s % 2, 0, "mapped value {} must be even", s);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline shim for the `rand` crate (0.9 API surface).
+//!
+//! Provides a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64) plus the [`Rng`] / [`SeedableRng`] traits with the methods
+//! this workspace uses: `random_range`, `random_bool`, and `random`.
+//! Determinism for a given seed is the property the TPC-H generator
+//! relies on; statistical quality is xoshiro-grade, ample for data
+//! generation and skew sampling.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        distr::unit_f64(self) < p
+    }
+
+    /// A sample of `T` from its standard distribution.
+    fn random<T>(&mut self) -> T
+    where
+        T: distr::StandardUniform,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard RNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution plumbing for [`Rng`]'s generic methods.
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Ranges that can produce a uniform sample of `T`.
+    ///
+    /// Implemented as blanket impls over [`SampleUniform`] so type
+    /// inference unifies untyped integer literals in a range with the
+    /// sample's use site, exactly as the real crate does.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    /// Element types that support uniform sampling from a range.
+    pub trait SampleUniform: Copy {
+        /// Uniform sample in `[lo, hi)`.
+        fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform sample in `[lo, hi]`.
+        fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    /// Types with a standard distribution for [`super::Rng::random`].
+    pub trait StandardUniform {
+        /// Draw one sample from the type's standard distribution.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl StandardUniform for u64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Uniform integer sampling over a span, by widening to u128 so the
+    // multiply-shift reduction is unbiased enough for data generation.
+    fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + uniform_below(rng, span) as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            assert!(lo < hi, "empty range");
+            lo + unit_f64(rng) * (hi - lo)
+        }
+        fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            Self::sample_half_open(rng, lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0i64..1_000_000),
+                b.random_range(0i64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-50i64..=50);
+            assert!((-50..=50).contains(&v));
+            let u = rng.random_range(0usize..17);
+            assert!(u < 17);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

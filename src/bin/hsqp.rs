@@ -1,0 +1,268 @@
+//! `hsqp` — end-to-end TPC-H driver.
+//!
+//! One command that exercises the whole stack in a single process:
+//! generate TPC-H data at a given scale factor, start a simulated N-node
+//! cluster (storage → tpch → numa → net → engine), run a set of the 22
+//! distributed TPC-H queries through `NodeExec`, and print per-query
+//! timings as JSON. CI's bench-smoke job runs this at SF 0.01 on 4 nodes
+//! and archives the output next to future benchmark trajectories.
+//!
+//! ```bash
+//! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --output timings.json
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
+use hsqp::engine::queries::{tpch_query, ALL_QUERIES};
+use hsqp::tpch::TpchDb;
+
+const USAGE: &str = "\
+hsqp — end-to-end TPC-H driver over the simulated cluster
+
+USAGE:
+    hsqp [OPTIONS]
+
+OPTIONS:
+    --sf <FLOAT>           TPC-H scale factor (default 0.01)
+    --nodes <N>            Simulated servers in the cluster (default 4)
+    --workers <N>          Worker threads per server (default 2)
+    --queries <LIST>       Comma-separated query numbers, e.g. 1,3,6
+                           (default: all 22)
+    --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
+    --engine <E>           hybrid | classic (default hybrid)
+    --message-kb <N>       Tuple bytes per network message in KiB (default 32)
+    --output <PATH>        Also write the JSON report to PATH
+    -h, --help             Show this help
+";
+
+struct Args {
+    sf: f64,
+    nodes: u16,
+    workers: u16,
+    queries: Vec<u32>,
+    transport: String,
+    engine: String,
+    message_kb: usize,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sf: 0.01,
+        nodes: 4,
+        workers: 2,
+        queries: ALL_QUERIES.to_vec(),
+        transport: "rdma".to_string(),
+        engine: "hybrid".to_string(),
+        message_kb: 32,
+        output: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--sf" => {
+                args.sf = value
+                    .parse()
+                    .map_err(|_| format!("invalid --sf {value:?}"))?;
+                if !args.sf.is_finite() || args.sf <= 0.0 {
+                    return Err("--sf must be positive".into());
+                }
+            }
+            "--nodes" => {
+                args.nodes = value
+                    .parse()
+                    .map_err(|_| format!("invalid --nodes {value:?}"))?;
+            }
+            "--workers" => {
+                args.workers = value
+                    .parse()
+                    .map_err(|_| format!("invalid --workers {value:?}"))?;
+            }
+            "--queries" => {
+                args.queries = value
+                    .split(',')
+                    .map(|q| {
+                        q.trim()
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|q| (1..=22).contains(q))
+                            .ok_or_else(|| format!("invalid query number {q:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--transport" => {
+                args.transport = value.clone();
+            }
+            "--engine" => {
+                args.engine = value.clone();
+            }
+            "--message-kb" => {
+                args.message_kb = value
+                    .parse()
+                    .map_err(|_| format!("invalid --message-kb {value:?}"))?;
+            }
+            "--output" => {
+                args.output = Some(value.clone());
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn cluster_config(args: &Args) -> Result<ClusterConfig, String> {
+    let transport = match args.transport.as_str() {
+        "rdma" => Transport::rdma_scheduled(),
+        "rdma-unscheduled" => Transport::rdma_unscheduled(),
+        "tcp" => Transport::tcp(),
+        other => return Err(format!("unknown transport {other:?}")),
+    };
+    let engine = match args.engine.as_str() {
+        "hybrid" => EngineKind::Hybrid,
+        "classic" => EngineKind::Classic,
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    Ok(ClusterConfig {
+        workers_per_node: args.workers,
+        transport,
+        engine,
+        numa_cost_ns: 0.0,
+        message_capacity: args.message_kb * 1024,
+        ..ClusterConfig::paper(args.nodes)
+    })
+}
+
+/// Minimal JSON string escaping for error messages embedded in the report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let cfg = cluster_config(&args)?;
+
+    eprintln!(
+        "generating TPC-H SF {} and starting {}-node cluster ({} transport, {} engine)",
+        args.sf, args.nodes, args.transport, args.engine
+    );
+    let gen_started = Instant::now();
+    let db = TpchDb::generate(args.sf);
+    let gen_ms = gen_started.elapsed().as_secs_f64() * 1e3;
+
+    let cluster = Cluster::start(cfg).map_err(|e| format!("cluster start failed: {e}"))?;
+    let load_started = Instant::now();
+    cluster
+        .load_tpch_db(db)
+        .map_err(|e| format!("load failed: {e}"))?;
+    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+
+    let mut lines = Vec::new();
+    let mut total_ms = 0.0f64;
+    let mut log_sum = 0.0f64;
+    let mut failures = 0u32;
+    for &n in &args.queries {
+        let query = tpch_query(n).map_err(|e| format!("query {n}: {e}"))?;
+        match cluster.run(&query) {
+            Ok(result) => {
+                let ms = result.elapsed.as_secs_f64() * 1e3;
+                total_ms += ms;
+                log_sum += ms.max(1e-6).ln();
+                eprintln!(
+                    "Q{n:<2} {ms:>10.2} ms  {:>8} rows  {:>12} bytes shuffled",
+                    result.row_count(),
+                    result.bytes_shuffled
+                );
+                lines.push(format!(
+                    "    {{\"query\": {n}, \"ms\": {ms:.3}, \"rows\": {}, \
+                     \"bytes_shuffled\": {}, \"messages_sent\": {}}}",
+                    result.row_count(),
+                    result.bytes_shuffled,
+                    result.messages_sent
+                ));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("Q{n:<2} FAILED: {e}");
+                lines.push(format!(
+                    "    {{\"query\": {n}, \"error\": \"{}\"}}",
+                    json_escape(&e.to_string())
+                ));
+            }
+        }
+    }
+    let geomean_ms = if args.queries.is_empty() || failures > 0 {
+        f64::NAN
+    } else {
+        (log_sum / args.queries.len() as f64).exp()
+    };
+    cluster.shutdown();
+
+    let mut report = String::new();
+    report.push_str("{\n");
+    let _ = writeln!(report, "  \"sf\": {},", args.sf);
+    let _ = writeln!(report, "  \"nodes\": {},", args.nodes);
+    let _ = writeln!(report, "  \"workers_per_node\": {},", args.workers);
+    let _ = writeln!(
+        report,
+        "  \"transport\": \"{}\",",
+        json_escape(&args.transport)
+    );
+    let _ = writeln!(report, "  \"engine\": \"{}\",", json_escape(&args.engine));
+    let _ = writeln!(report, "  \"generate_ms\": {gen_ms:.3},");
+    let _ = writeln!(report, "  \"load_ms\": {load_ms:.3},");
+    let _ = writeln!(report, "  \"total_ms\": {total_ms:.3},");
+    if geomean_ms.is_finite() {
+        let _ = writeln!(report, "  \"geomean_ms\": {geomean_ms:.3},");
+    } else {
+        let _ = writeln!(report, "  \"geomean_ms\": null,");
+    }
+    let _ = writeln!(report, "  \"failures\": {failures},");
+    let _ = writeln!(report, "  \"queries\": [");
+    report.push_str(&lines.join(",\n"));
+    report.push_str("\n  ]\n}\n");
+
+    println!("{report}");
+    if let Some(path) = &args.output {
+        std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if failures > 0 {
+        return Err(format!("{failures} queries failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

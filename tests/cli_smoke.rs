@@ -1,0 +1,254 @@
+//! Smoke test for the `hsqp` end-to-end driver binary: a 2-node SF 0.01
+//! run must complete, emit well-formed JSON, and report a row count for
+//! Q1 that matches the library-level correctness oracle (the same query
+//! run through `Cluster::run` directly).
+
+use std::collections::HashMap;
+use std::process::Command;
+
+use hsqp::engine::cluster::{Cluster, ClusterConfig};
+use hsqp::engine::queries::tpch_query;
+
+/// A minimal JSON value, parsed by [`parse_json`]. Enough structure to
+/// verify well-formedness and pull scalar fields out of the report.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object for key {key:?}, got {other:?}"),
+        }
+    }
+
+    fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+/// Strict recursive-descent JSON parser: rejects trailing garbage,
+/// unterminated strings, and malformed numbers — the point of the test.
+fn parse_json(s: &str) -> Json {
+    let b: Vec<char> = s.chars().collect();
+    let mut pos = 0;
+    let v = parse_value(&b, &mut pos);
+    skip_ws(&b, &mut pos);
+    assert_eq!(pos, b.len(), "trailing garbage after JSON document");
+    v
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) {
+    skip_ws(b, pos);
+    assert!(
+        *pos < b.len() && b[*pos] == c,
+        "expected {c:?} at offset {pos}"
+    );
+    *pos += 1;
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Json {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut map = HashMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Json::Obj(map);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos) {
+                    Json::Str(k) => k,
+                    other => panic!("object key must be a string, got {other:?}"),
+                };
+                expect(b, pos, ':');
+                map.insert(key, parse_value(b, pos));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Json::Obj(map);
+                    }
+                    other => panic!("expected ',' or '}}' in object, got {other:?}"),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Json::Arr(arr);
+            }
+            loop {
+                arr.push(parse_value(b, pos));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Json::Arr(arr);
+                    }
+                    other => panic!("expected ',' or ']' in array, got {other:?}"),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    Some('"') => {
+                        *pos += 1;
+                        return Json::Str(out);
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some('u') => {
+                                let hex: String = b[*pos + 1..*pos + 5].iter().collect();
+                                let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                                out.push(char::from_u32(code).expect("valid codepoint"));
+                                *pos += 4;
+                            }
+                            Some(&c) => out.push(c),
+                            None => panic!("unterminated escape"),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                    None => panic!("unterminated string"),
+                }
+            }
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit() || matches!(b[*pos], '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *pos += 1;
+            }
+            let text: String = b[start..*pos].iter().collect();
+            Json::Num(
+                text.parse()
+                    .unwrap_or_else(|_| panic!("bad number {text:?}")),
+            )
+        }
+        Some('t') | Some('f') | Some('n') => {
+            for (lit, v) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                if b[*pos..].starts_with(&lit.chars().collect::<Vec<_>>()[..]) {
+                    *pos += lit.len();
+                    return v;
+                }
+            }
+            panic!("bad literal at offset {pos}");
+        }
+        other => panic!("unexpected {other:?} at offset {pos}"),
+    }
+}
+
+/// The oracle: Q1's result cardinality from a direct library run.
+fn oracle_q1_rows(sf: f64) -> usize {
+    let cluster = Cluster::start(ClusterConfig::quick(1)).expect("oracle cluster");
+    cluster.load_tpch(sf).expect("oracle load");
+    let result = cluster
+        .run(&tpch_query(1).expect("q1"))
+        .expect("oracle run");
+    let rows = result.row_count();
+    cluster.shutdown();
+    rows
+}
+
+#[test]
+fn driver_2node_sf001_emits_wellformed_json() {
+    let sf = 0.01;
+    let out = Command::new(env!("CARGO_BIN_EXE_hsqp"))
+        .args([
+            "--sf",
+            "0.01",
+            "--nodes",
+            "2",
+            "--queries",
+            "1,6",
+            "--message-kb",
+            "32",
+        ])
+        .output()
+        .expect("driver ran");
+    assert!(
+        out.status.success(),
+        "driver failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report = parse_json(&String::from_utf8(out.stdout).expect("utf8 stdout"));
+    assert_eq!(report.get("sf").num(), sf);
+    assert_eq!(report.get("nodes").num(), 2.0);
+    assert_eq!(report.get("failures").num(), 0.0);
+    let queries = report.get("queries").arr();
+    assert_eq!(queries.len(), 2);
+
+    let q1 = &queries[0];
+    assert_eq!(q1.get("query").num(), 1.0);
+    assert!(q1.get("ms").num() > 0.0);
+    assert_eq!(
+        q1.get("rows").num() as usize,
+        oracle_q1_rows(sf),
+        "driver row count for Q1 must match the library oracle"
+    );
+}
+
+#[test]
+fn driver_rejects_bad_flags() {
+    for args in [
+        &["--sf", "0"][..],
+        &["--nodes", "two"][..],
+        &["--queries", "0"][..],
+        &["--queries", "23"][..],
+        &["--transport", "carrier-pigeon"][..],
+        &["--frobnicate", "yes"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hsqp"))
+            .args(args)
+            .output()
+            .expect("driver ran");
+        assert!(!out.status.success(), "args {args:?} must be rejected");
+    }
+}
