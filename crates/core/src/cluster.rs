@@ -50,6 +50,12 @@ pub enum Transport {
 }
 
 impl Transport {
+    /// The default RDMA transport (alias for
+    /// [`rdma_scheduled`](Self::rdma_scheduled), the paper's engine).
+    pub fn rdma() -> Self {
+        Self::rdma_scheduled()
+    }
+
     /// The paper's engine: RDMA + network scheduling, event completions.
     pub fn rdma_scheduled() -> Self {
         Transport::Rdma {
@@ -388,6 +394,20 @@ impl Cluster {
             node.tables.write().insert(kind, Arc::new(part));
         }
         Ok(())
+    }
+
+    /// Total rows of `table` across all nodes, if it is loaded (the
+    /// planner's source of exact cardinalities).
+    pub fn table_rows(&self, table: TpchTable) -> Option<u64> {
+        let mut total = 0u64;
+        let mut loaded = false;
+        for node in &self.nodes {
+            if let Some(t) = node.tables.read().get(&table) {
+                total += t.rows() as u64;
+                loaded = true;
+            }
+        }
+        loaded.then_some(total)
     }
 
     /// Run a single plan SPMD and return the coordinator's result.

@@ -16,6 +16,12 @@ pub enum EngineError {
     ClusterDown,
     /// Invalid configuration.
     Config(String),
+    /// The distributed planner rejected a logical plan (unknown column,
+    /// ambiguous name, key arity mismatch, …).
+    Planner(String),
+    /// The requested feature exists but is not available in this mode
+    /// (e.g. a TPC-H query not yet migrated to the logical builder).
+    Unsupported(String),
 }
 
 impl fmt::Display for EngineError {
@@ -25,6 +31,8 @@ impl fmt::Display for EngineError {
             EngineError::UnknownQuery(q) => write!(f, "unknown TPC-H query: {q}"),
             EngineError::ClusterDown => write!(f, "cluster already shut down"),
             EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Planner(msg) => write!(f, "planner error: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -47,5 +55,22 @@ mod tests {
         );
         assert!(EngineError::ClusterDown.to_string().contains("shut down"));
         assert!(EngineError::Config("x".into()).to_string().contains("x"));
+        assert!(EngineError::Planner("no col".into())
+            .to_string()
+            .contains("no col"));
+        assert!(EngineError::Unsupported("q9".into())
+            .to_string()
+            .contains("q9"));
+    }
+
+    #[test]
+    fn composes_with_question_mark_callers() {
+        // The whole point of `impl std::error::Error`: downstream code can
+        // use `?` into `Box<dyn Error>`.
+        fn caller() -> Result<(), Box<dyn std::error::Error>> {
+            Err(EngineError::UnknownQuery(99))?
+        }
+        let err = caller().unwrap_err();
+        assert_eq!(err.to_string(), "unknown TPC-H query: 99");
     }
 }

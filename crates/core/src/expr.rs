@@ -205,6 +205,44 @@ impl Expr {
     pub fn is_null(self) -> Expr {
         Expr::IsNull(Box::new(self))
     }
+
+    /// All column names referenced by this expression (sorted, deduplicated).
+    /// The planner uses this for column pruning and plan validation.
+    pub fn columns(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::LitI64(_) | Expr::LitF64(_) | Expr::LitStr(_) | Expr::Param(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::And(children) | Expr::Or(children) => {
+                for c in children {
+                    c.collect_columns(out);
+                }
+            }
+            Expr::Not(c)
+            | Expr::Like(c, _)
+            | Expr::InStr(c, _)
+            | Expr::InI64(c, _)
+            | Expr::Substr(c, _, _)
+            | Expr::ExtractYear(c)
+            | Expr::IsNull(c) => c.collect_columns(out),
+            Expr::Case(cond, then, els) => {
+                cond.collect_columns(out);
+                then.collect_columns(out);
+                els.collect_columns(out);
+            }
+        }
+    }
 }
 
 /// Physical payload of an evaluated expression.
@@ -801,6 +839,21 @@ mod tests {
         assert_eq!(v.into_mask(), vec![true, false]);
         let v = eval(&col("x").is_null(), &t, 0..2, &[]);
         assert_eq!(v.into_mask(), vec![false, true]);
+    }
+
+    #[test]
+    fn columns_walks_every_variant() {
+        let e = col("a")
+            .gt(lit(1))
+            .and(col("b").like("x%"))
+            .or(col("c").add(col("d")).eq(litf(2.0)))
+            .and(col("e").is_null().not())
+            .and(col("f").substr(1, 2).in_str(&["q"]))
+            .and(col("g").year().in_i64(&[1995]))
+            .and(col("h").case(col("i"), Expr::Param(0)).ne(lit(0)));
+        let cols: Vec<String> = e.columns().into_iter().collect();
+        assert_eq!(cols, ["a", "b", "c", "d", "e", "f", "g", "h", "i"]);
+        assert!(lit(1).columns().is_empty());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! [`queries`] contains hand-built physical plans for all 22 TPC-H queries
 //! (the paper's workload); [`cluster`] is the SPMD driver that runs a plan
 //! across all simulated servers and gathers the result.
+//!
+//! Queries are written against the [`logical`] plan builder and lowered by
+//! the distributed [`planner`], which places exchange operators, chooses
+//! broadcast vs repartition joins, and inserts pre-aggregation
+//! automatically; [`session`] wraps cluster + planner behind one
+//! programmable facade. The hand-written physical plans in [`queries`]
+//! remain as the differential-testing oracle.
 
 pub mod cluster;
 pub mod error;
@@ -29,12 +36,18 @@ pub mod exchange;
 pub mod exec;
 pub mod expr;
 pub mod local;
+pub mod logical;
 pub mod ops;
 pub mod plan;
+pub mod planner;
 pub mod queries;
+pub mod session;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig, EngineKind, QueryResult, Transport};
 pub use error::EngineError;
 pub use expr::Expr;
+pub use logical::{JoinStrategy, LogicalPlan};
 pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
+pub use planner::{Planner, PlannerConfig, TableStats};
+pub use session::{Session, SessionBuilder};

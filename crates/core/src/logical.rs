@@ -1,0 +1,302 @@
+//! Logical query plans — the programmable front-end of the engine.
+//!
+//! A [`LogicalPlan`] describes *what* a query computes, with no mention of
+//! servers, exchange operators, or aggregation phases. The distributed
+//! [`planner`](crate::planner) lowers it to a physical
+//! [`Plan`](crate::plan::Plan): it places
+//! exchanges at partitioning boundaries, chooses broadcast vs
+//! hash-repartition joins from cardinality estimates, and inserts the
+//! Figure 6(c) pre-aggregation split automatically. Where the paper relies
+//! on HyPer's optimizer to produce its distributed plans, this module plus
+//! the planner play that role for our reproduction.
+//!
+//! Plans are built fluently and combine with the [`Expr`] helpers:
+//!
+//! ```
+//! use hsqp_engine::logical::LogicalPlan;
+//! use hsqp_engine::expr::{col, lit};
+//! use hsqp_engine::plan::{AggFunc, AggSpec, SortKey};
+//! use hsqp_tpch::TpchTable;
+//!
+//! let plan = LogicalPlan::scan(TpchTable::Lineitem)
+//!     .filter(col("l_quantity").lt(lit(24)))
+//!     .aggregate(
+//!         &["l_returnflag"],
+//!         vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "qty")],
+//!     )
+//!     .sort(vec![SortKey::asc("l_returnflag")]);
+//! ```
+//!
+//! [`Expr`]: crate::expr::Expr
+
+use hsqp_tpch::TpchTable;
+
+use crate::expr::{col, Expr};
+use crate::plan::{AggSpec, JoinKind, MapExpr, SortKey};
+
+/// How the planner should distribute a join's build (right) side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Let the planner decide from cardinality estimates (§3.2's
+    /// broadcast-small-inputs vs partition-both-sides choice).
+    #[default]
+    Auto,
+    /// Force a broadcast of the build side to every node.
+    Broadcast,
+    /// Force hash-repartitioning both sides on the join keys.
+    Repartition,
+}
+
+/// A logical relational operator tree.
+///
+/// Constructed with the fluent builder methods below; consumed by
+/// [`Planner::plan`](crate::planner::Planner::plan). Unlike the physical
+/// [`Plan`](crate::plan::Plan), a logical plan contains no
+/// [`Exchange`](crate::plan::Plan::Exchange) operators and no aggregation
+/// phases — distribution is entirely the planner's concern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base relation. Column pruning and filter pushdown happen in
+    /// the planner.
+    Scan {
+        /// Relation to scan.
+        table: TpchTable,
+    },
+    /// Keep rows where `predicate` evaluates to true.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input's columns.
+        predicate: Expr,
+    },
+    /// Compute a full projection list (renames, arithmetic, CASE, …).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns, replacing the input schema.
+        outputs: Vec<MapExpr>,
+    },
+    /// Equi-join; `left` is the probe (streaming) side, `right` the build
+    /// side that is materialized (and possibly broadcast).
+    Join {
+        /// Probe side.
+        left: Box<LogicalPlan>,
+        /// Build side.
+        right: Box<LogicalPlan>,
+        /// Probe-side key columns.
+        left_keys: Vec<String>,
+        /// Build-side key columns (positionally equated with `left_keys`).
+        right_keys: Vec<String>,
+        /// Join semantics.
+        kind: JoinKind,
+        /// Distribution hint for the planner.
+        strategy: JoinStrategy,
+    },
+    /// Group-by aggregation (hash-based). The planner decides between a
+    /// node-local aggregate, a raw reshuffle, or the Figure 6(c)
+    /// pre-aggregation split.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by column names (empty = global aggregate).
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Totally ordered output (the planner gathers before sorting).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+    },
+    /// Keep only the first `n` rows (top-k when applied to a sort).
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan all columns of `table` (unused columns are pruned by the
+    /// planner).
+    pub fn scan(table: TpchTable) -> LogicalPlan {
+        LogicalPlan::Scan { table }
+    }
+
+    /// Keep rows satisfying `predicate`. Filters directly above a scan are
+    /// pushed into the scan by the planner.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Replace the schema with a computed projection list.
+    pub fn select(self, outputs: Vec<MapExpr>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            outputs,
+        }
+    }
+
+    /// Keep (and reorder to) the named columns — shorthand for a
+    /// [`select`](Self::select) of plain column references.
+    pub fn project(self, columns: &[&str]) -> LogicalPlan {
+        self.select(columns.iter().map(|c| MapExpr::new(c, col(c))).collect())
+    }
+
+    /// Join `self` (probe side) with `build`, equating `left_keys[i]` with
+    /// `right_keys[i]`. The planner picks broadcast vs repartition.
+    pub fn join(
+        self,
+        build: LogicalPlan,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        kind: JoinKind,
+    ) -> LogicalPlan {
+        self.join_with(build, left_keys, right_keys, kind, JoinStrategy::Auto)
+    }
+
+    /// [`join`](Self::join) with an explicit distribution strategy.
+    pub fn join_with(
+        self,
+        build: LogicalPlan,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        kind: JoinKind,
+        strategy: JoinStrategy,
+    ) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(build),
+            left_keys: left_keys.iter().map(|s| s.to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
+            kind,
+            strategy,
+        }
+    }
+
+    /// Group by `group_by` and compute `aggs` (global aggregate when
+    /// `group_by` is empty).
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<AggSpec>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            aggs,
+        }
+    }
+
+    /// Totally order the result by `keys`.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Keep the first `n` rows. Applied directly to a [`sort`](Self::sort)
+    /// this lowers to a single top-k operator.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Sort by `keys` and keep the first `n` rows (top-k).
+    pub fn top_k(self, keys: Vec<SortKey>, n: usize) -> LogicalPlan {
+        self.sort(keys).limit(n)
+    }
+
+    /// Direct children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Number of operators in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+    use crate::plan::AggFunc;
+
+    #[test]
+    fn builder_constructs_expected_tree() {
+        let p = LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_quantity").lt(lit(24)))
+            .aggregate(
+                &["l_returnflag"],
+                vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "qty")],
+            )
+            .sort(vec![SortKey::asc("l_returnflag")])
+            .limit(5);
+        assert_eq!(p.node_count(), 5);
+        match &p {
+            LogicalPlan::Limit { n, input } => {
+                assert_eq!(*n, 5);
+                assert!(matches!(**input, LogicalPlan::Sort { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_keys_and_strategy_recorded() {
+        let p = LogicalPlan::scan(TpchTable::Orders).join_with(
+            LogicalPlan::scan(TpchTable::Customer),
+            &["o_custkey"],
+            &["c_custkey"],
+            JoinKind::LeftSemi,
+            JoinStrategy::Broadcast,
+        );
+        match &p {
+            LogicalPlan::Join {
+                left_keys,
+                right_keys,
+                kind,
+                strategy,
+                ..
+            } => {
+                assert_eq!(left_keys, &["o_custkey"]);
+                assert_eq!(right_keys, &["c_custkey"]);
+                assert_eq!(*kind, JoinKind::LeftSemi);
+                assert_eq!(*strategy, JoinStrategy::Broadcast);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.children().len(), 2);
+    }
+
+    #[test]
+    fn project_shorthand_builds_column_refs() {
+        let p = LogicalPlan::scan(TpchTable::Nation).project(&["n_name"]);
+        match &p {
+            LogicalPlan::Project { outputs, .. } => {
+                assert_eq!(outputs.len(), 1);
+                assert_eq!(outputs[0].name, "n_name");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

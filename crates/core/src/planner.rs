@@ -1,0 +1,1189 @@
+//! The distributed planner: lowers [`LogicalPlan`]s to physical [`Plan`]s.
+//!
+//! The paper's distributed plans come out of HyPer's optimizer (Figure 6);
+//! this module reproduces the three decisions that matter for distribution:
+//!
+//! 1. **Exchange placement** — a hash-repartition is inserted wherever an
+//!    operator needs co-partitioned input and the data is not already
+//!    partitioned compatibly; redundant exchanges are elided by tracking
+//!    each subplan's partitioning property (including column equivalences
+//!    established by inner joins).
+//! 2. **Broadcast vs repartition** (§3.2) — small build sides are broadcast
+//!    instead of hash-partitioning both inputs, decided from
+//!    table-cardinality estimates and simple selectivity heuristics.
+//! 3. **Pre-aggregation** (Figure 6(c)) — group-by aggregations over
+//!    unpartitioned input are split into a local partial aggregate, a
+//!    reshuffle of the (small) partial states, and a merge; `count(distinct)`
+//!    falls back to a raw reshuffle, and aggregations whose input is already
+//!    partitioned by a group key stay node-local.
+//!
+//! Scans are pruned to the columns the plan actually uses and filters
+//! directly above a scan are pushed into it ("columns that are not required
+//! … are pruned as early as possible", §3.2.1).
+
+use std::collections::BTreeSet;
+
+use hsqp_tpch::TpchTable;
+
+use crate::cluster::Cluster;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::logical::{JoinStrategy, LogicalPlan};
+use crate::plan::{AggFunc, AggPhase, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
+
+/// Base-relation cardinality estimates, the planner's cost-model input.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    rows: [f64; 8],
+}
+
+impl TableStats {
+    /// Estimates for a TPC-H database at scale factor `sf`, mirroring the
+    /// generator's row counts.
+    pub fn for_scale_factor(sf: f64) -> Self {
+        let suppliers = (10_000.0 * sf).max(4.0);
+        let customers = (150_000.0 * sf).max(10.0);
+        let parts = (200_000.0 * sf).max(20.0);
+        let orders = customers * 10.0;
+        let mut s = Self { rows: [1.0; 8] };
+        s.set_rows(TpchTable::Region, 5.0);
+        s.set_rows(TpchTable::Nation, 25.0);
+        s.set_rows(TpchTable::Supplier, suppliers);
+        s.set_rows(TpchTable::Customer, customers);
+        s.set_rows(TpchTable::Part, parts);
+        s.set_rows(TpchTable::Partsupp, parts * 4.0);
+        s.set_rows(TpchTable::Orders, orders);
+        s.set_rows(TpchTable::Lineitem, orders * 4.0);
+        s
+    }
+
+    /// Override the estimate for one relation (e.g. with exact loaded
+    /// counts).
+    pub fn set_rows(&mut self, table: TpchTable, rows: f64) {
+        self.rows[table.idx()] = rows.max(1.0);
+    }
+
+    /// Estimated row count of `table`.
+    pub fn rows(&self, table: TpchTable) -> f64 {
+        self.rows[table.idx()]
+    }
+}
+
+impl Default for TableStats {
+    fn default() -> Self {
+        Self::for_scale_factor(1.0)
+    }
+}
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Cluster size the plan will run on (drives broadcast costing).
+    pub nodes: u16,
+    /// Build sides estimated at or below this row count are always
+    /// broadcast, regardless of the probe size.
+    pub broadcast_max_rows: f64,
+    /// Base-relation cardinalities.
+    pub stats: TableStats,
+}
+
+impl PlannerConfig {
+    /// Defaults for an `nodes`-server cluster at TPC-H scale factor 1.
+    pub fn new(nodes: u16) -> Self {
+        Self {
+            nodes,
+            broadcast_max_rows: 1_000.0,
+            stats: TableStats::default(),
+        }
+    }
+}
+
+/// Lowers logical plans to distributed physical plans.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cfg: PlannerConfig,
+}
+
+/// How a subplan's rows are distributed across the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    /// Arbitrary distribution (chunked base tables, broadcast-join outputs).
+    Any,
+    /// Hash-partitioned: position `i` of the partition key can be read from
+    /// any column named in `classes[i]` (join equivalences).
+    Hash(Vec<BTreeSet<String>>),
+    /// Every node holds a full copy (output of a broadcast exchange).
+    Replicated,
+    /// All rows live on the coordinator; other nodes are empty.
+    Single,
+}
+
+/// A lowered subplan with the properties the planner tracks.
+struct Lowered {
+    plan: Plan,
+    cols: Vec<String>,
+    part: Part,
+    est: f64,
+}
+
+fn planner_err<T>(msg: impl Into<String>) -> Result<T, EngineError> {
+    Err(EngineError::Planner(msg.into()))
+}
+
+fn table_columns(table: TpchTable) -> Vec<String> {
+    use hsqp_tpch::schema;
+    let s = match table {
+        TpchTable::Region => schema::region(),
+        TpchTable::Nation => schema::nation(),
+        TpchTable::Supplier => schema::supplier(),
+        TpchTable::Customer => schema::customer(),
+        TpchTable::Part => schema::part(),
+        TpchTable::Partsupp => schema::partsupp(),
+        TpchTable::Orders => schema::orders(),
+        TpchTable::Lineitem => schema::lineitem(),
+    };
+    s.fields().iter().map(|f| f.name.clone()).collect()
+}
+
+/// Selectivity heuristic for filter predicates (flat per-operator factors,
+/// conjunctions multiply).
+fn selectivity(e: &Expr) -> f64 {
+    use crate::expr::CmpOp;
+    match e {
+        Expr::Cmp(CmpOp::Eq, _, _) => 0.1,
+        Expr::Cmp(CmpOp::Ne, _, _) => 0.9,
+        Expr::Cmp(_, _, _) => 0.3,
+        Expr::And(cs) => cs.iter().map(selectivity).product::<f64>().max(1e-4),
+        Expr::Or(cs) => cs.iter().map(selectivity).sum::<f64>().min(1.0),
+        Expr::Not(c) => (1.0 - selectivity(c)).max(0.05),
+        Expr::Like(_, _) => 0.1,
+        Expr::InStr(_, opts) => (0.1 * opts.len() as f64).min(1.0),
+        Expr::InI64(_, opts) => (0.1 * opts.len() as f64).min(1.0),
+        Expr::IsNull(_) => 0.1,
+        _ => 0.5,
+    }
+}
+
+impl Planner {
+    /// A planner for the given configuration.
+    pub fn new(cfg: PlannerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// A planner configured from a running cluster: node count from the
+    /// cluster, cardinalities from the actually loaded relations (falling
+    /// back to SF-1 estimates for relations that are not loaded).
+    pub fn for_cluster(cluster: &Cluster) -> Self {
+        let mut cfg = PlannerConfig::new(cluster.config().nodes);
+        for table in TpchTable::ALL {
+            if let Some(rows) = cluster.table_rows(table) {
+                cfg.stats.set_rows(table, rows as f64);
+            }
+        }
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Lower `logical` to a distributed physical plan whose result is
+    /// complete on the coordinator (node 0).
+    pub fn plan(&self, logical: &LogicalPlan) -> Result<Plan, EngineError> {
+        let lowered = self.lower(logical, None)?;
+        Ok(match lowered.part {
+            // Node 0 already holds the full result.
+            Part::Single | Part::Replicated => lowered.plan,
+            Part::Any | Part::Hash(_) => lowered.plan.gather(),
+        })
+    }
+
+    /// Output column names of `logical` (what [`plan`](Self::plan) will
+    /// produce, in order).
+    pub fn output_columns(&self, logical: &LogicalPlan) -> Result<Vec<String>, EngineError> {
+        logical_columns(logical)
+    }
+
+    // -- lowering -----------------------------------------------------------
+
+    /// Lower one node. `required` is the set of output columns the parent
+    /// needs (`None` = all); it drives scan pruning only — every operator
+    /// still produces its full logical schema.
+    fn lower(
+        &self,
+        node: &LogicalPlan,
+        required: Option<&BTreeSet<String>>,
+    ) -> Result<Lowered, EngineError> {
+        match node {
+            LogicalPlan::Scan { table } => Ok(self.lower_scan(*table, None, required)),
+            LogicalPlan::Filter { input, predicate } => {
+                if let LogicalPlan::Scan { table } = &**input {
+                    let cols = table_columns(*table);
+                    check_columns(&predicate.columns(), &cols, "filter predicate")?;
+                    let mut scan = self.lower_scan(*table, Some(predicate.clone()), required);
+                    scan.est *= selectivity(predicate);
+                    return Ok(scan);
+                }
+                let mut child_req = required.cloned();
+                if let Some(r) = &mut child_req {
+                    r.extend(predicate.columns());
+                }
+                let child = self.lower(input, child_req.as_ref())?;
+                check_columns(&predicate.columns(), &child.cols, "filter predicate")?;
+                Ok(Lowered {
+                    plan: child.plan.filter(predicate.clone()),
+                    cols: child.cols,
+                    part: child.part,
+                    est: (child.est * selectivity(predicate)).max(1.0),
+                })
+            }
+            LogicalPlan::Project { input, outputs } => {
+                if outputs.is_empty() {
+                    return planner_err("projection list is empty");
+                }
+                let mut child_req = BTreeSet::new();
+                for o in outputs {
+                    child_req.extend(o.expr.columns());
+                }
+                let child = self.lower(input, Some(&child_req))?;
+                for o in outputs {
+                    check_columns(&o.expr.columns(), &child.cols, "projection")?;
+                }
+                let cols: Vec<String> = outputs.iter().map(|o| o.name.clone()).collect();
+                check_unique(&cols, "projection output")?;
+                // Partition keys survive a projection only through plain
+                // column references (renames).
+                let mut renames: Vec<(&str, &str)> = Vec::new();
+                for o in outputs {
+                    if let Expr::Col(src) = &o.expr {
+                        renames.push((src.as_str(), o.name.as_str()));
+                    }
+                }
+                let part = match child.part {
+                    Part::Hash(classes) => rename_classes(classes, &renames),
+                    p => p,
+                };
+                Ok(Lowered {
+                    plan: child.plan.map(outputs.clone()),
+                    cols,
+                    part,
+                    est: child.est,
+                })
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                strategy,
+            } => self.lower_join(
+                left, right, left_keys, right_keys, *kind, *strategy, required,
+            ),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => self.lower_aggregate(input, group_by, aggs),
+            LogicalPlan::Sort { input, keys } => self.lower_sort(input, keys, None, required),
+            LogicalPlan::Limit { input, n } => {
+                if let LogicalPlan::Sort { input: si, keys } = &**input {
+                    return self.lower_sort(si, keys, Some(*n), required);
+                }
+                let child = self.lower(input, required)?;
+                let (plan, part) = gathered(child.plan, child.part);
+                Ok(Lowered {
+                    plan: Plan::Sort {
+                        input: Box::new(plan),
+                        keys: Vec::new(),
+                        limit: Some(*n),
+                    },
+                    cols: child.cols,
+                    part,
+                    est: (*n as f64).min(child.est),
+                })
+            }
+        }
+    }
+
+    fn lower_scan(
+        &self,
+        table: TpchTable,
+        filter: Option<Expr>,
+        required: Option<&BTreeSet<String>>,
+    ) -> Lowered {
+        let all = table_columns(table);
+        let (project, cols) = match required {
+            None => (None, all),
+            Some(req) => {
+                let mut keep: Vec<String> =
+                    all.iter().filter(|c| req.contains(*c)).cloned().collect();
+                if keep.is_empty() {
+                    // A plan can be column-free (count(*) over literals);
+                    // keep one column so the scan still carries row counts.
+                    keep.push(all[0].clone());
+                }
+                if keep.len() == all.len() {
+                    (None, keep)
+                } else {
+                    (Some(keep.clone()), keep)
+                }
+            }
+        };
+        Lowered {
+            plan: Plan::Scan {
+                table,
+                filter,
+                project,
+            },
+            cols,
+            part: Part::Any,
+            est: self.cfg.stats.rows(table),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        left_keys: &[String],
+        right_keys: &[String],
+        kind: JoinKind,
+        strategy: JoinStrategy,
+        required: Option<&BTreeSet<String>>,
+    ) -> Result<Lowered, EngineError> {
+        if left_keys.len() != right_keys.len() {
+            return planner_err(format!(
+                "join key arity mismatch: {left_keys:?} vs {right_keys:?}"
+            ));
+        }
+        if left_keys.is_empty() {
+            return planner_err("join needs at least one key pair");
+        }
+
+        let (lreq, rreq) = match required {
+            None => (None, None),
+            Some(req) => {
+                let lcols: BTreeSet<String> = logical_columns(left)?.into_iter().collect();
+                let rcols: BTreeSet<String> = logical_columns(right)?.into_iter().collect();
+                let mut lr: BTreeSet<String> =
+                    req.iter().filter(|c| lcols.contains(*c)).cloned().collect();
+                lr.extend(left_keys.iter().cloned());
+                let mut rr: BTreeSet<String> =
+                    req.iter().filter(|c| rcols.contains(*c)).cloned().collect();
+                rr.extend(right_keys.iter().cloned());
+                (Some(lr), Some(rr))
+            }
+        };
+        let mut l = self.lower(left, lreq.as_ref())?;
+        let mut r = self.lower(right, rreq.as_ref())?;
+        check_columns(
+            &left_keys.iter().cloned().collect(),
+            &l.cols,
+            "probe join keys",
+        )?;
+        check_columns(
+            &right_keys.iter().cloned().collect(),
+            &r.cols,
+            "build join keys",
+        )?;
+
+        // Output schema: probe columns, plus build columns for joins that
+        // emit them.
+        let build_cols_kept = matches!(kind, JoinKind::Inner | JoinKind::LeftOuter);
+        let mut cols = l.cols.clone();
+        if build_cols_kept {
+            cols.extend(r.cols.iter().cloned());
+        }
+        check_unique(&cols, "join output")?;
+
+        let n = f64::from(self.cfg.nodes);
+        let est = match kind {
+            JoinKind::Inner | JoinKind::LeftOuter => l.est,
+            JoinKind::LeftSemi | JoinKind::LeftAnti => (l.est * 0.5).max(1.0),
+        };
+
+        // Coordinator-only inputs: align the other side on node 0 too.
+        if l.part == Part::Single || r.part == Part::Single {
+            match (&l.part, &r.part) {
+                (Part::Single, Part::Single) | (Part::Single, Part::Replicated) => {}
+                (Part::Single, _) => r = exchange(r, ExchangeKind::Gather, Part::Single),
+                (Part::Replicated, Part::Single) => {
+                    // Re-broadcasting from the coordinator replicates the
+                    // build alongside the already-replicated probe.
+                    r = exchange(r, ExchangeKind::Broadcast, Part::Replicated);
+                }
+                (_, Part::Single) => l = exchange(l, ExchangeKind::Gather, Part::Single),
+                _ => unreachable!("one side is Single"),
+            }
+            let part = if l.part == Part::Replicated {
+                Part::Replicated
+            } else {
+                Part::Single
+            };
+            return Ok(Lowered {
+                plan: join_plan(l.plan, r.plan, left_keys, right_keys, kind),
+                cols,
+                part,
+                est,
+            });
+        }
+
+        // A replicated probe forces a replicated build (hash-partitioning
+        // either side would duplicate rows).
+        let broadcast = if r.part == Part::Replicated || l.part == Part::Replicated {
+            true
+        } else {
+            match strategy {
+                JoinStrategy::Broadcast => true,
+                JoinStrategy::Repartition => false,
+                // §3.2: broadcast when shipping (n−1) copies of the build
+                // side is cheaper than repartitioning both inputs. The
+                // factor 2 charges the replicated hash-table build every
+                // node then has to do on top of the network transfer.
+                JoinStrategy::Auto => {
+                    r.est <= self.cfg.broadcast_max_rows || 2.0 * r.est * (n - 1.0) <= l.est
+                }
+            }
+        };
+
+        if broadcast {
+            if r.part != Part::Replicated {
+                r = exchange(r, ExchangeKind::Broadcast, Part::Replicated);
+            }
+            let part = if l.part == Part::Replicated {
+                Part::Replicated
+            } else {
+                // Probe rows stay where they were.
+                prune_part(l.part.clone(), &cols)
+            };
+            return Ok(Lowered {
+                plan: join_plan(l.plan, r.plan, left_keys, right_keys, kind),
+                cols,
+                part,
+                est,
+            });
+        }
+
+        // Repartition path: reuse existing partitioning when one side is
+        // already hash-partitioned on (a positional subset of) its keys.
+        let lpos = key_positions(&l.part, left_keys);
+        let rpos = key_positions(&r.part, right_keys);
+        let positions: Vec<usize> = match (lpos, rpos) {
+            (Some(lp), Some(rp)) if lp == rp => lp,
+            (Some(lp), _) => {
+                let keys: Vec<String> = lp.iter().map(|&i| right_keys[i].clone()).collect();
+                r = exchange(r, ExchangeKind::HashPartition(keys), Part::Any);
+                lp
+            }
+            (None, Some(rp)) => {
+                let keys: Vec<String> = rp.iter().map(|&i| left_keys[i].clone()).collect();
+                l = exchange(l, ExchangeKind::HashPartition(keys), Part::Any);
+                rp
+            }
+            (None, None) => {
+                let all: Vec<usize> = (0..left_keys.len()).collect();
+                l = exchange(
+                    l,
+                    ExchangeKind::HashPartition(left_keys.to_vec()),
+                    Part::Any,
+                );
+                r = exchange(
+                    r,
+                    ExchangeKind::HashPartition(right_keys.to_vec()),
+                    Part::Any,
+                );
+                all
+            }
+        };
+        // Both sides are now co-partitioned on `positions`; the join output
+        // is partitioned by those keys, with the build-side names equivalent
+        // after an inner join (outer joins pad build keys with NULLs).
+        let classes: Vec<BTreeSet<String>> = positions
+            .iter()
+            .map(|&i| {
+                let mut class = BTreeSet::new();
+                class.insert(left_keys[i].clone());
+                if kind == JoinKind::Inner {
+                    class.insert(right_keys[i].clone());
+                }
+                class
+            })
+            .collect();
+        Ok(Lowered {
+            plan: join_plan(l.plan, r.plan, left_keys, right_keys, kind),
+            cols: cols.clone(),
+            part: prune_part(Part::Hash(classes), &cols),
+            est,
+        })
+    }
+
+    fn lower_aggregate(
+        &self,
+        input: &LogicalPlan,
+        group_by: &[String],
+        aggs: &[AggSpec],
+    ) -> Result<Lowered, EngineError> {
+        if aggs.is_empty() {
+            return planner_err("aggregate needs at least one aggregate function");
+        }
+        let mut child_req: BTreeSet<String> = group_by.iter().cloned().collect();
+        for a in aggs {
+            child_req.extend(a.expr.columns());
+        }
+        let child = self.lower(input, Some(&child_req))?;
+        check_columns(
+            &group_by.iter().cloned().collect(),
+            &child.cols,
+            "group-by keys",
+        )?;
+        for a in aggs {
+            check_columns(&a.expr.columns(), &child.cols, "aggregate input")?;
+        }
+        let mut cols: Vec<String> = group_by.to_vec();
+        cols.extend(aggs.iter().map(|a| a.name.clone()));
+        check_unique(&cols, "aggregate output")?;
+
+        let agg_node = |input: Plan, phase: AggPhase| Plan::Aggregate {
+            input: Box::new(input),
+            group_by: group_by.to_vec(),
+            aggs: aggs.to_vec(),
+            phase,
+        };
+
+        let has_distinct = aggs.iter().any(|a| a.func == AggFunc::CountDistinct);
+        if group_by.is_empty() {
+            // Global aggregate: local partials, merged on the coordinator —
+            // except count(distinct), which needs the raw values gathered.
+            return Ok(match child.part {
+                Part::Single | Part::Replicated => Lowered {
+                    part: child.part,
+                    plan: agg_node(child.plan, AggPhase::Single),
+                    cols,
+                    est: 1.0,
+                },
+                _ if has_distinct => Lowered {
+                    plan: agg_node(child.plan.gather(), AggPhase::Single),
+                    cols,
+                    part: Part::Single,
+                    est: 1.0,
+                },
+                _ => Lowered {
+                    plan: agg_node(
+                        agg_node(child.plan, AggPhase::Partial).gather(),
+                        AggPhase::Final,
+                    ),
+                    cols,
+                    part: Part::Single,
+                    est: 1.0,
+                },
+            });
+        }
+
+        let est = (child.est * 0.1).max(1.0);
+        let group_set: BTreeSet<&str> = group_by.iter().map(String::as_str).collect();
+        let local = match &child.part {
+            Part::Single | Part::Replicated => true,
+            Part::Any => false,
+            // Rows agreeing on every group key hash to the same node iff
+            // each partition-key position is readable from a group column.
+            Part::Hash(classes) => classes
+                .iter()
+                .all(|class| class.iter().any(|c| group_set.contains(c.as_str()))),
+        };
+        if local {
+            let part = prune_part(child.part.clone(), &cols);
+            return Ok(Lowered {
+                plan: agg_node(child.plan, AggPhase::Single),
+                cols,
+                part,
+                est,
+            });
+        }
+
+        let out_part = Part::Hash(
+            group_by
+                .iter()
+                .map(|g| {
+                    let mut c = BTreeSet::new();
+                    c.insert(g.clone());
+                    c
+                })
+                .collect(),
+        );
+        if has_distinct {
+            // count(distinct) needs the raw values: reshuffle, then
+            // aggregate once (no pre-aggregation possible).
+            let shuffled = Plan::Exchange {
+                input: Box::new(child.plan),
+                kind: ExchangeKind::HashPartition(group_by.to_vec()),
+            };
+            return Ok(Lowered {
+                plan: agg_node(shuffled, AggPhase::Single),
+                cols,
+                part: out_part,
+                est,
+            });
+        }
+        // Figure 6(c): pre-aggregate locally, reshuffle the partial states
+        // by group key, merge.
+        let partial = agg_node(child.plan, AggPhase::Partial);
+        let shuffled = Plan::Exchange {
+            input: Box::new(partial),
+            kind: ExchangeKind::HashPartition(group_by.to_vec()),
+        };
+        Ok(Lowered {
+            plan: agg_node(shuffled, AggPhase::Final),
+            cols,
+            part: out_part,
+            est,
+        })
+    }
+
+    fn lower_sort(
+        &self,
+        input: &LogicalPlan,
+        keys: &[SortKey],
+        limit: Option<usize>,
+        required: Option<&BTreeSet<String>>,
+    ) -> Result<Lowered, EngineError> {
+        let mut child_req = required.cloned();
+        if let Some(r) = &mut child_req {
+            r.extend(keys.iter().map(|k| k.column.clone()));
+        }
+        let child = self.lower(input, child_req.as_ref())?;
+        check_columns(
+            &keys.iter().map(|k| k.column.clone()).collect(),
+            &child.cols,
+            "sort keys",
+        )?;
+        let (plan, part) = gathered(child.plan, child.part);
+        let est = limit.map_or(child.est, |l| (l as f64).min(child.est));
+        Ok(Lowered {
+            plan: Plan::Sort {
+                input: Box::new(plan),
+                keys: keys.to_vec(),
+                limit,
+            },
+            cols: child.cols,
+            part,
+            est,
+        })
+    }
+}
+
+/// Wrap `plan` in an exchange and update the partitioning property.
+fn exchange(l: Lowered, kind: ExchangeKind, part: Part) -> Lowered {
+    let part = match &kind {
+        ExchangeKind::HashPartition(keys) => Part::Hash(
+            keys.iter()
+                .map(|k| {
+                    let mut c = BTreeSet::new();
+                    c.insert(k.clone());
+                    c
+                })
+                .collect(),
+        ),
+        _ => part,
+    };
+    Lowered {
+        plan: Plan::Exchange {
+            input: Box::new(l.plan),
+            kind,
+        },
+        cols: l.cols,
+        part,
+        est: l.est,
+    }
+}
+
+fn join_plan(
+    probe: Plan,
+    build: Plan,
+    probe_keys: &[String],
+    build_keys: &[String],
+    kind: JoinKind,
+) -> Plan {
+    Plan::HashJoin {
+        probe: Box::new(probe),
+        build: Box::new(build),
+        probe_keys: probe_keys.to_vec(),
+        build_keys: build_keys.to_vec(),
+        kind,
+    }
+}
+
+/// A sort/limit needs the full result in one place: gather unless the
+/// coordinator already holds it.
+fn gathered(plan: Plan, part: Part) -> (Plan, Part) {
+    match part {
+        Part::Single => (plan, Part::Single),
+        // Every node sorts its full copy; the coordinator's is the answer.
+        Part::Replicated => (plan, Part::Replicated),
+        Part::Any | Part::Hash(_) => (plan.gather(), Part::Single),
+    }
+}
+
+/// Positions `p` such that `part` is hash-partitioned exactly on
+/// `keys[p[0]], keys[p[1]], …` (readable through join equivalences), i.e.
+/// the data is already co-partitioned for a join on `keys`.
+fn key_positions(part: &Part, keys: &[String]) -> Option<Vec<usize>> {
+    let Part::Hash(classes) = part else {
+        return None;
+    };
+    let mut positions = Vec::with_capacity(classes.len());
+    for class in classes {
+        let pos = keys.iter().position(|k| class.contains(k.as_str()))?;
+        positions.push(pos);
+    }
+    Some(positions)
+}
+
+/// Drop partition-key names that no longer exist in the output schema;
+/// degrade to `Any` when a position loses all its names.
+fn prune_part(part: Part, cols: &[String]) -> Part {
+    match part {
+        Part::Hash(classes) => {
+            let pruned: Vec<BTreeSet<String>> = classes
+                .into_iter()
+                .map(|class| {
+                    class
+                        .into_iter()
+                        .filter(|c| cols.contains(c))
+                        .collect::<BTreeSet<String>>()
+                })
+                .collect();
+            if pruned.iter().any(BTreeSet::is_empty) {
+                Part::Any
+            } else {
+                Part::Hash(pruned)
+            }
+        }
+        p => p,
+    }
+}
+
+/// Apply projection renames to hash-partition classes.
+fn rename_classes(classes: Vec<BTreeSet<String>>, renames: &[(&str, &str)]) -> Part {
+    let renamed: Vec<BTreeSet<String>> = classes
+        .into_iter()
+        .map(|class| {
+            renames
+                .iter()
+                .filter(|(src, _)| class.contains(*src))
+                .map(|(_, dst)| dst.to_string())
+                .collect::<BTreeSet<String>>()
+        })
+        .collect();
+    if renamed.iter().any(BTreeSet::is_empty) {
+        Part::Any
+    } else {
+        Part::Hash(renamed)
+    }
+}
+
+fn check_columns(
+    needed: &BTreeSet<String>,
+    available: &[String],
+    what: &str,
+) -> Result<(), EngineError> {
+    for c in needed {
+        if !available.iter().any(|a| a == c) {
+            return planner_err(format!(
+                "{what} references unknown column {c:?} (available: {available:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_unique(cols: &[String], what: &str) -> Result<(), EngineError> {
+    let mut seen = BTreeSet::new();
+    for c in cols {
+        if !seen.insert(c) {
+            return planner_err(format!("{what} has ambiguous column name {c:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Output column names of a logical plan, without lowering it.
+fn logical_columns(node: &LogicalPlan) -> Result<Vec<String>, EngineError> {
+    match node {
+        LogicalPlan::Scan { table } => Ok(table_columns(*table)),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => logical_columns(input),
+        LogicalPlan::Project { outputs, .. } => {
+            Ok(outputs.iter().map(|o| o.name.clone()).collect())
+        }
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            let mut cols = logical_columns(left)?;
+            if matches!(kind, JoinKind::Inner | JoinKind::LeftOuter) {
+                cols.extend(logical_columns(right)?);
+            }
+            Ok(cols)
+        }
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            let mut cols = group_by.clone();
+            cols.extend(aggs.iter().map(|a| a.name.clone()));
+            Ok(cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, lits};
+    use crate::plan::MapExpr;
+
+    fn planner(nodes: u16) -> Planner {
+        Planner::new(PlannerConfig::new(nodes))
+    }
+
+    fn count_kind(plan: &Plan, pred: &dyn Fn(&Plan) -> bool) -> usize {
+        usize::from(pred(plan))
+            + plan
+                .children()
+                .iter()
+                .map(|c| count_kind(c, pred))
+                .sum::<usize>()
+    }
+
+    fn broadcasts(plan: &Plan) -> usize {
+        count_kind(plan, &|p| {
+            matches!(
+                p,
+                Plan::Exchange {
+                    kind: ExchangeKind::Broadcast,
+                    ..
+                }
+            )
+        })
+    }
+
+    fn repartitions(plan: &Plan) -> usize {
+        count_kind(plan, &|p| {
+            matches!(
+                p,
+                Plan::Exchange {
+                    kind: ExchangeKind::HashPartition(_),
+                    ..
+                }
+            )
+        })
+    }
+
+    #[test]
+    fn small_build_side_is_broadcast() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem).join(
+            LogicalPlan::scan(TpchTable::Nation),
+            &["l_suppkey"],
+            &["n_nationkey"],
+            JoinKind::Inner,
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        assert_eq!(broadcasts(&plan), 1);
+        assert_eq!(repartitions(&plan), 0);
+    }
+
+    #[test]
+    fn large_build_side_repartitions_both_inputs() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem).join(
+            LogicalPlan::scan(TpchTable::Orders),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        assert_eq!(broadcasts(&plan), 0);
+        assert_eq!(repartitions(&plan), 2);
+    }
+
+    #[test]
+    fn join_strategy_hints_are_respected() {
+        let forced = LogicalPlan::scan(TpchTable::Lineitem).join_with(
+            LogicalPlan::scan(TpchTable::Orders),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+            JoinStrategy::Broadcast,
+        );
+        let plan = planner(4).plan(&forced).unwrap();
+        assert_eq!(broadcasts(&plan), 1);
+        assert_eq!(repartitions(&plan), 0);
+    }
+
+    #[test]
+    fn preaggregation_split_is_inserted() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem).aggregate(
+            &["l_returnflag"],
+            vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "qty")],
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        // Final ← HashPartition ← Partial ← Scan, then a root gather.
+        let Plan::Exchange { input: g, kind } = &plan else {
+            panic!("root must gather, got {plan:?}");
+        };
+        assert_eq!(*kind, ExchangeKind::Gather);
+        let Plan::Aggregate { phase, input, .. } = &**g else {
+            panic!("expected final aggregate");
+        };
+        assert_eq!(*phase, AggPhase::Final);
+        let Plan::Exchange { input, .. } = &**input else {
+            panic!("expected reshuffle below final");
+        };
+        let Plan::Aggregate { phase, .. } = &**input else {
+            panic!("expected partial aggregate");
+        };
+        assert_eq!(*phase, AggPhase::Partial);
+    }
+
+    #[test]
+    fn count_distinct_reshuffles_raw_tuples() {
+        let lp = LogicalPlan::scan(TpchTable::Partsupp).aggregate(
+            &["ps_partkey"],
+            vec![AggSpec::new(
+                AggFunc::CountDistinct,
+                col("ps_suppkey"),
+                "suppliers",
+            )],
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        assert_eq!(
+            count_kind(&plan, &|p| matches!(
+                p,
+                Plan::Aggregate {
+                    phase: AggPhase::Partial,
+                    ..
+                }
+            )),
+            0,
+            "count(distinct) must not pre-aggregate"
+        );
+        assert_eq!(repartitions(&plan), 1);
+    }
+
+    #[test]
+    fn aggregation_over_copartitioned_join_stays_local() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem)
+            .join(
+                LogicalPlan::scan(TpchTable::Orders),
+                &["l_orderkey"],
+                &["o_orderkey"],
+                JoinKind::Inner,
+            )
+            .aggregate(
+                // Grouping by the *build-side* key: reachable through the
+                // inner-join equivalence, so no extra reshuffle.
+                &["o_orderkey"],
+                vec![AggSpec::new(AggFunc::Count, lit(1), "lines")],
+            );
+        let plan = planner(4).plan(&lp).unwrap();
+        assert_eq!(repartitions(&plan), 2, "only the join repartitions");
+        assert_eq!(
+            count_kind(&plan, &|p| matches!(
+                p,
+                Plan::Aggregate {
+                    phase: AggPhase::Single,
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn global_count_distinct_gathers_raw_rows() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem).aggregate(
+            &[],
+            vec![AggSpec::new(
+                AggFunc::CountDistinct,
+                col("l_suppkey"),
+                "suppliers",
+            )],
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        // No Partial phase anywhere (the executor forbids pre-aggregating
+        // count(distinct)): gather raw rows, aggregate once.
+        assert_eq!(
+            count_kind(&plan, &|p| matches!(
+                p,
+                Plan::Aggregate {
+                    phase: AggPhase::Partial,
+                    ..
+                }
+            )),
+            0
+        );
+        let Plan::Aggregate { phase, input, .. } = &plan else {
+            panic!("root is the aggregate, got {plan:?}");
+        };
+        assert_eq!(*phase, AggPhase::Single);
+        assert!(matches!(
+            **input,
+            Plan::Exchange {
+                kind: ExchangeKind::Gather,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn global_aggregate_gathers_partials() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem).aggregate(
+            &[],
+            vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "qty")],
+        );
+        let plan = planner(4).plan(&lp).unwrap();
+        // Partial per node, gather, Final at the coordinator — and no extra
+        // root gather (the result is already coordinator-only).
+        assert_eq!(plan.exchange_count(), 1);
+        let Plan::Aggregate { phase, .. } = &plan else {
+            panic!("root is the final aggregate");
+        };
+        assert_eq!(*phase, AggPhase::Final);
+    }
+
+    #[test]
+    fn scans_are_pruned_to_used_columns() {
+        let lp = LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_shipdate").lt(lit(10_000)))
+            .aggregate(
+                &["l_returnflag"],
+                vec![AggSpec::new(AggFunc::Sum, col("l_quantity"), "qty")],
+            );
+        let plan = planner(2).plan(&lp).unwrap();
+        fn find_scan(p: &Plan) -> Option<&Plan> {
+            if matches!(p, Plan::Scan { .. }) {
+                return Some(p);
+            }
+            p.children().iter().find_map(|c| find_scan(c))
+        }
+        let Some(Plan::Scan {
+            filter, project, ..
+        }) = find_scan(&plan)
+        else {
+            panic!("plan has a scan");
+        };
+        assert!(filter.is_some(), "filter is pushed into the scan");
+        // The filter column is evaluated pre-projection and must not be kept.
+        assert_eq!(
+            project.as_deref(),
+            Some(&["l_quantity".to_string(), "l_returnflag".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn sort_gathers_before_ordering() {
+        let lp = LogicalPlan::scan(TpchTable::Nation)
+            .sort(vec![SortKey::asc("n_name")])
+            .limit(3);
+        let plan = planner(4).plan(&lp).unwrap();
+        let Plan::Sort { input, limit, .. } = &plan else {
+            panic!("root is a sort, got {plan:?}");
+        };
+        assert_eq!(*limit, Some(3), "limit folds into the sort");
+        assert!(matches!(
+            **input,
+            Plan::Exchange {
+                kind: ExchangeKind::Gather,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_columns_are_rejected_not_panicked() {
+        let bad = LogicalPlan::scan(TpchTable::Nation).filter(col("no_such").eq(lit(1)));
+        assert!(matches!(
+            planner(2).plan(&bad),
+            Err(EngineError::Planner(_))
+        ));
+        let bad = LogicalPlan::scan(TpchTable::Nation)
+            .aggregate(&["nope"], vec![AggSpec::new(AggFunc::Count, lit(1), "c")]);
+        assert!(matches!(
+            planner(2).plan(&bad),
+            Err(EngineError::Planner(_))
+        ));
+        let bad = LogicalPlan::scan(TpchTable::Nation).join(
+            LogicalPlan::scan(TpchTable::Region),
+            &["n_regionkey"],
+            &[],
+            JoinKind::Inner,
+        );
+        assert!(matches!(
+            planner(2).plan(&bad),
+            Err(EngineError::Planner(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_join_output_is_rejected() {
+        let bad = LogicalPlan::scan(TpchTable::Nation).join(
+            LogicalPlan::scan(TpchTable::Nation),
+            &["n_regionkey"],
+            &["n_regionkey"],
+            JoinKind::Inner,
+        );
+        assert!(matches!(
+            planner(2).plan(&bad),
+            Err(EngineError::Planner(_))
+        ));
+        // Semi joins drop the build columns, so self-joins are fine there.
+        let ok = LogicalPlan::scan(TpchTable::Nation).join(
+            LogicalPlan::scan(TpchTable::Nation),
+            &["n_regionkey"],
+            &["n_regionkey"],
+            JoinKind::LeftSemi,
+        );
+        assert!(planner(2).plan(&ok).is_ok());
+    }
+
+    #[test]
+    fn projection_renames_keep_partitioning() {
+        let lp = LogicalPlan::scan(TpchTable::Orders)
+            .join(
+                LogicalPlan::scan(TpchTable::Lineitem).project(&["l_orderkey", "l_quantity"]),
+                &["o_orderkey"],
+                &["l_orderkey"],
+                JoinKind::Inner,
+            )
+            .select(vec![
+                MapExpr::new("key", col("o_orderkey")),
+                MapExpr::new("qty", col("l_quantity")),
+            ])
+            .aggregate(&["key"], vec![AggSpec::new(AggFunc::Sum, col("qty"), "q")]);
+        let plan = planner(4).plan(&lp).unwrap();
+        // Join repartitions both sides; the rename preserves the property,
+        // so the aggregate stays local (no third repartition).
+        assert_eq!(repartitions(&plan), 2);
+    }
+
+    #[test]
+    fn stats_scale_with_the_generator() {
+        let s = TableStats::for_scale_factor(0.01);
+        assert_eq!(s.rows(TpchTable::Region), 5.0);
+        assert_eq!(s.rows(TpchTable::Nation), 25.0);
+        assert_eq!(s.rows(TpchTable::Supplier), 100.0);
+        assert_eq!(s.rows(TpchTable::Orders), 15_000.0);
+        assert_eq!(s.rows(TpchTable::Lineitem), 60_000.0);
+    }
+
+    #[test]
+    fn selectivity_heuristics_are_sane() {
+        let eq = col("a").eq(lit(1));
+        let rng = col("a").gt(lit(1));
+        assert!(selectivity(&eq) < selectivity(&rng));
+        let conj = eq.clone().and(rng.clone());
+        assert!(selectivity(&conj) < selectivity(&eq));
+        let disj = eq.clone().or(rng);
+        assert!(selectivity(&disj) > selectivity(&eq));
+        assert!(selectivity(&lits("x").like("a%")) <= 0.1);
+    }
+}

@@ -1,0 +1,351 @@
+//! TPC-H queries expressed against the logical plan builder.
+//!
+//! These are the queries migrated from the hand-written distributed plans
+//! (the other modules in [`queries`](crate::queries)) to the
+//! [`LogicalPlan`] API: no exchange operators, no aggregation phases, no
+//! broadcast decisions — the [`planner`](crate::planner) derives all of
+//! that. The hand-written plans remain the differential-testing oracle:
+//! `tests/planner_differential.rs` asserts both produce identical results.
+
+use hsqp_storage::date_from_ymd;
+use hsqp_tpch::TpchTable;
+
+use crate::error::EngineError;
+use crate::expr::{col, lit, litf, lits, Expr};
+use crate::logical::LogicalPlan;
+use crate::plan::{AggFunc, AggSpec, JoinKind, MapExpr, SortKey};
+
+/// TPC-H query numbers available through [`tpch_logical`].
+pub const BUILDER_QUERIES: [u32; 8] = [1, 3, 4, 5, 6, 10, 12, 14];
+
+/// Build the logical plan for TPC-H query `n`.
+///
+/// Returns [`EngineError::Unsupported`] for valid query numbers that have
+/// not been migrated to the builder yet (see `ROADMAP.md`), and
+/// [`EngineError::UnknownQuery`] for numbers outside 1–22.
+pub fn tpch_logical(n: u32) -> Result<LogicalPlan, EngineError> {
+    match n {
+        1 => Ok(q1()),
+        3 => Ok(q3()),
+        4 => Ok(q4()),
+        5 => Ok(q5()),
+        6 => Ok(q6()),
+        10 => Ok(q10()),
+        12 => Ok(q12()),
+        14 => Ok(q14()),
+        2 | 7..=9 | 11 | 13 | 15..=22 => Err(EngineError::Unsupported(format!(
+            "TPC-H query {n} is not yet migrated to the logical builder \
+             (available: {BUILDER_QUERIES:?})"
+        ))),
+        _ => Err(EngineError::UnknownQuery(n)),
+    }
+}
+
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(litf(1.0).sub(col("l_discount")))
+}
+
+/// Q1 — pricing summary report.
+fn q1() -> LogicalPlan {
+    let cutoff = date_from_ymd(1998, 12, 1) - 90;
+    let disc_price = revenue();
+    let charge = disc_price.clone().mul(litf(1.0).add(col("l_tax")));
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(col("l_shipdate").le(lit(cutoff)))
+        .aggregate(
+            &["l_returnflag", "l_linestatus"],
+            vec![
+                AggSpec::new(AggFunc::Sum, col("l_quantity"), "sum_qty"),
+                AggSpec::new(AggFunc::Sum, col("l_extendedprice"), "sum_base_price"),
+                AggSpec::new(AggFunc::Sum, disc_price, "sum_disc_price"),
+                AggSpec::new(AggFunc::Sum, charge, "sum_charge"),
+                AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty"),
+                AggSpec::new(AggFunc::Avg, col("l_extendedprice"), "avg_price"),
+                AggSpec::new(AggFunc::Avg, col("l_discount"), "avg_disc"),
+                AggSpec::new(AggFunc::Count, lit(1), "count_order"),
+            ],
+        )
+        .sort(vec![
+            SortKey::asc("l_returnflag"),
+            SortKey::asc("l_linestatus"),
+        ])
+}
+
+/// Q3 — shipping priority (top-10 revenue).
+fn q3() -> LogicalPlan {
+    let cutoff = date_from_ymd(1995, 3, 15);
+    let customer =
+        LogicalPlan::scan(TpchTable::Customer).filter(col("c_mktsegment").eq(lits("BUILDING")));
+    let cust_orders = LogicalPlan::scan(TpchTable::Orders)
+        .filter(col("o_orderdate").lt(lit(cutoff)))
+        .join(customer, &["o_custkey"], &["c_custkey"], JoinKind::LeftSemi);
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(col("l_shipdate").gt(lit(cutoff)))
+        .join(
+            cust_orders,
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+        )
+        .aggregate(
+            &["l_orderkey", "o_orderdate", "o_shippriority"],
+            vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+        )
+        .top_k(
+            vec![SortKey::desc("revenue"), SortKey::asc("o_orderdate")],
+            10,
+        )
+}
+
+/// Q4 — order priority checking (EXISTS as a semi join).
+fn q4() -> LogicalPlan {
+    let late_lines =
+        LogicalPlan::scan(TpchTable::Lineitem).filter(col("l_commitdate").lt(col("l_receiptdate")));
+    LogicalPlan::scan(TpchTable::Orders)
+        .filter(
+            col("o_orderdate")
+                .ge(lit(date_from_ymd(1993, 7, 1)))
+                .and(col("o_orderdate").lt(lit(date_from_ymd(1993, 10, 1)))),
+        )
+        .join(
+            late_lines,
+            &["o_orderkey"],
+            &["l_orderkey"],
+            JoinKind::LeftSemi,
+        )
+        .aggregate(
+            &["o_orderpriority"],
+            vec![AggSpec::new(AggFunc::Count, lit(1), "order_count")],
+        )
+        .sort(vec![SortKey::asc("o_orderpriority")])
+}
+
+/// Q5 — local supplier volume within ASIA.
+fn q5() -> LogicalPlan {
+    let asia_nations = LogicalPlan::scan(TpchTable::Nation)
+        .join(
+            LogicalPlan::scan(TpchTable::Region).filter(col("r_name").eq(lits("ASIA"))),
+            &["n_regionkey"],
+            &["r_regionkey"],
+            JoinKind::LeftSemi,
+        )
+        .select(vec![
+            MapExpr::new("sn_key", col("n_nationkey")),
+            MapExpr::new("sn_name", col("n_name")),
+        ]);
+    let supp_nation = LogicalPlan::scan(TpchTable::Supplier)
+        .join(asia_nations, &["s_nationkey"], &["sn_key"], JoinKind::Inner)
+        .select(vec![
+            MapExpr::new("supp_key", col("s_suppkey")),
+            MapExpr::new("supp_nationkey", col("s_nationkey")),
+            MapExpr::new("n_name", col("sn_name")),
+        ]);
+    let cust_orders = LogicalPlan::scan(TpchTable::Orders)
+        .filter(
+            col("o_orderdate")
+                .ge(lit(date_from_ymd(1994, 1, 1)))
+                .and(col("o_orderdate").lt(lit(date_from_ymd(1995, 1, 1)))),
+        )
+        .join(
+            LogicalPlan::scan(TpchTable::Customer),
+            &["o_custkey"],
+            &["c_custkey"],
+            JoinKind::Inner,
+        );
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .join(
+            cust_orders,
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+        )
+        .join(
+            supp_nation,
+            &["l_suppkey", "c_nationkey"],
+            &["supp_key", "supp_nationkey"],
+            JoinKind::Inner,
+        )
+        .aggregate(
+            &["n_name"],
+            vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+        )
+        .sort(vec![SortKey::desc("revenue")])
+}
+
+/// Q6 — forecasting revenue change.
+fn q6() -> LogicalPlan {
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(
+            col("l_shipdate")
+                .ge(lit(date_from_ymd(1994, 1, 1)))
+                .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 1, 1))))
+                .and(col("l_discount").between(litf(0.0499), litf(0.0701)))
+                .and(col("l_quantity").lt(litf(24.0))),
+        )
+        .aggregate(
+            &[],
+            vec![AggSpec::new(
+                AggFunc::Sum,
+                col("l_extendedprice").mul(col("l_discount")),
+                "revenue",
+            )],
+        )
+}
+
+/// Q10 — returned-item reporting (top 20 customers by lost revenue).
+fn q10() -> LogicalPlan {
+    let orders = LogicalPlan::scan(TpchTable::Orders).filter(
+        col("o_orderdate")
+            .ge(lit(date_from_ymd(1993, 10, 1)))
+            .and(col("o_orderdate").lt(lit(date_from_ymd(1994, 1, 1)))),
+    );
+    let customer = LogicalPlan::scan(TpchTable::Customer).join(
+        LogicalPlan::scan(TpchTable::Nation),
+        &["c_nationkey"],
+        &["n_nationkey"],
+        JoinKind::Inner,
+    );
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(col("l_returnflag").eq(lits("R")))
+        .join(orders, &["l_orderkey"], &["o_orderkey"], JoinKind::Inner)
+        .join(customer, &["o_custkey"], &["c_custkey"], JoinKind::Inner)
+        .aggregate(
+            &[
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+                "c_comment",
+            ],
+            vec![AggSpec::new(AggFunc::Sum, revenue(), "revenue")],
+        )
+        .top_k(vec![SortKey::desc("revenue")], 20)
+}
+
+/// Q12 — shipping modes and order priority.
+fn q12() -> LogicalPlan {
+    let urgent = col("o_orderpriority").in_str(&["1-URGENT", "2-HIGH"]);
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(
+            col("l_shipmode")
+                .in_str(&["MAIL", "SHIP"])
+                .and(col("l_commitdate").lt(col("l_receiptdate")))
+                .and(col("l_shipdate").lt(col("l_commitdate")))
+                .and(col("l_receiptdate").ge(lit(date_from_ymd(1994, 1, 1))))
+                .and(col("l_receiptdate").lt(lit(date_from_ymd(1995, 1, 1)))),
+        )
+        .join(
+            LogicalPlan::scan(TpchTable::Orders),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            JoinKind::Inner,
+        )
+        .select(vec![
+            MapExpr::new("l_shipmode", col("l_shipmode")),
+            MapExpr::new("high_line", urgent.clone().case(lit(1), lit(0))),
+            MapExpr::new("low_line", urgent.not().case(lit(1), lit(0))),
+        ])
+        .aggregate(
+            &["l_shipmode"],
+            vec![
+                AggSpec::new(AggFunc::Sum, col("high_line"), "high_line_count"),
+                AggSpec::new(AggFunc::Sum, col("low_line"), "low_line_count"),
+            ],
+        )
+        .sort(vec![SortKey::asc("l_shipmode")])
+}
+
+/// Q14 — promotion effect within one month.
+fn q14() -> LogicalPlan {
+    LogicalPlan::scan(TpchTable::Lineitem)
+        .filter(
+            col("l_shipdate")
+                .ge(lit(date_from_ymd(1995, 9, 1)))
+                .and(col("l_shipdate").lt(lit(date_from_ymd(1995, 10, 1)))),
+        )
+        .join(
+            LogicalPlan::scan(TpchTable::Part),
+            &["l_partkey"],
+            &["p_partkey"],
+            JoinKind::Inner,
+        )
+        .select(vec![
+            MapExpr::new(
+                "promo",
+                col("p_type").like("PROMO%").case(revenue(), litf(0.0)),
+            ),
+            MapExpr::new("rev", revenue()),
+        ])
+        .aggregate(
+            &[],
+            vec![
+                AggSpec::new(AggFunc::Sum, col("promo"), "promo_sum"),
+                AggSpec::new(AggFunc::Sum, col("rev"), "rev_sum"),
+            ],
+        )
+        .select(vec![MapExpr::new(
+            "promo_revenue",
+            litf(100.0).mul(col("promo_sum")).div(col("rev_sum")),
+        )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{Planner, PlannerConfig};
+
+    #[test]
+    fn all_builder_queries_lower() {
+        let planner = Planner::new(PlannerConfig::new(4));
+        for n in BUILDER_QUERIES {
+            let lp = tpch_logical(n).unwrap();
+            let plan = planner
+                .plan(&lp)
+                .unwrap_or_else(|e| panic!("query {n} failed to lower: {e}"));
+            assert!(
+                plan.exchange_count() >= 1,
+                "query {n} must exchange at least once"
+            );
+        }
+    }
+
+    #[test]
+    fn unmigrated_and_unknown_are_distinguished() {
+        assert!(matches!(tpch_logical(9), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            tpch_logical(23),
+            Err(EngineError::UnknownQuery(23))
+        ));
+        assert!(matches!(tpch_logical(0), Err(EngineError::UnknownQuery(0))));
+    }
+
+    #[test]
+    fn lowered_output_schemas_match_the_handwritten_results() {
+        // The differential tests compare result *contents*; here we pin the
+        // output schemas (names, in order) so a migration can't silently
+        // drop or reorder columns.
+        let planner = Planner::new(PlannerConfig::new(2));
+        let cols = |n: u32| planner.output_columns(&tpch_logical(n).unwrap()).unwrap();
+        assert_eq!(
+            cols(1)[..3],
+            [
+                "l_returnflag".to_string(),
+                "l_linestatus".into(),
+                "sum_qty".into()
+            ]
+        );
+        assert_eq!(
+            cols(3),
+            vec![
+                "l_orderkey".to_string(),
+                "o_orderdate".into(),
+                "o_shippriority".into(),
+                "revenue".into()
+            ]
+        );
+        assert_eq!(cols(6), vec!["revenue".to_string()]);
+        assert_eq!(cols(14), vec!["promo_revenue".to_string()]);
+    }
+}

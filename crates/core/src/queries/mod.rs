@@ -13,9 +13,11 @@ use crate::error::EngineError;
 use crate::plan::Plan;
 
 mod aggregates;
+pub mod builder;
 mod helpers;
 
 pub use aggregates::q1_no_preagg;
+pub use builder::{tpch_logical, BUILDER_QUERIES};
 pub use helpers::{dist_agg, dist_agg_nopre, global_agg};
 mod joins;
 mod subqueries;

@@ -16,7 +16,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
-use hsqp::engine::queries::{tpch_query, ALL_QUERIES};
+use hsqp::engine::planner::Planner;
+use hsqp::engine::queries::{tpch_logical, tpch_query, ALL_QUERIES, BUILDER_QUERIES};
+use hsqp::engine::QueryResult;
 use hsqp::tpch::TpchDb;
 
 const USAGE: &str = "\
@@ -30,7 +32,10 @@ OPTIONS:
     --nodes <N>            Simulated servers in the cluster (default 4)
     --workers <N>          Worker threads per server (default 2)
     --queries <LIST>       Comma-separated query numbers, e.g. 1,3,6
-                           (default: all 22)
+                           (default: all 22; builder mode: all migrated)
+    --plan-mode <M>        handwritten | builder (default handwritten);
+                           builder plans queries through the logical-plan
+                           builder and distributed planner
     --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
     --engine <E>           hybrid | classic (default hybrid)
     --message-kb <N>       Tuple bytes per network message in KiB (default 32)
@@ -38,11 +43,27 @@ OPTIONS:
     -h, --help             Show this help
 ";
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanMode {
+    Handwritten,
+    Builder,
+}
+
+impl PlanMode {
+    fn name(self) -> &'static str {
+        match self {
+            PlanMode::Handwritten => "handwritten",
+            PlanMode::Builder => "builder",
+        }
+    }
+}
+
 struct Args {
     sf: f64,
     nodes: u16,
     workers: u16,
-    queries: Vec<u32>,
+    queries: Option<Vec<u32>>,
+    plan_mode: PlanMode,
     transport: String,
     engine: String,
     message_kb: usize,
@@ -54,7 +75,8 @@ fn parse_args() -> Result<Args, String> {
         sf: 0.01,
         nodes: 4,
         workers: 2,
-        queries: ALL_QUERIES.to_vec(),
+        queries: None,
+        plan_mode: PlanMode::Handwritten,
         transport: "rdma".to_string(),
         engine: "hybrid".to_string(),
         message_kb: 32,
@@ -81,26 +103,42 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--nodes" => {
-                args.nodes = value
-                    .parse()
-                    .map_err(|_| format!("invalid --nodes {value:?}"))?;
+                args.nodes =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--nodes must be a positive integer, got {value:?}")
+                    })?;
             }
             "--workers" => {
-                args.workers = value
-                    .parse()
-                    .map_err(|_| format!("invalid --workers {value:?}"))?;
+                args.workers = value.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                    format!("--workers must be a positive integer, got {value:?}")
+                })?;
             }
             "--queries" => {
-                args.queries = value
+                let list: Vec<u32> = value
                     .split(',')
                     .map(|q| {
                         q.trim()
                             .parse::<u32>()
                             .ok()
                             .filter(|q| (1..=22).contains(q))
-                            .ok_or_else(|| format!("invalid query number {q:?}"))
+                            .ok_or_else(|| format!("invalid query number {q:?} (valid: 1..=22)"))
                     })
                     .collect::<Result<_, _>>()?;
+                if list.is_empty() {
+                    return Err("--queries must name at least one query".into());
+                }
+                args.queries = Some(list);
+            }
+            "--plan-mode" => {
+                args.plan_mode = match value.as_str() {
+                    "handwritten" => PlanMode::Handwritten,
+                    "builder" => PlanMode::Builder,
+                    other => {
+                        return Err(format!(
+                            "unknown plan mode {other:?} (expected handwritten | builder)"
+                        ))
+                    }
+                };
             }
             "--transport" => {
                 args.transport = value.clone();
@@ -109,9 +147,9 @@ fn parse_args() -> Result<Args, String> {
                 args.engine = value.clone();
             }
             "--message-kb" => {
-                args.message_kb = value
-                    .parse()
-                    .map_err(|_| format!("invalid --message-kb {value:?}"))?;
+                args.message_kb = value.parse().ok().filter(|&kb| kb >= 1).ok_or_else(|| {
+                    format!("--message-kb must be a positive integer (≥ 1 KiB), got {value:?}")
+                })?;
             }
             "--output" => {
                 args.output = Some(value.clone());
@@ -166,9 +204,27 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let cfg = cluster_config(&args)?;
 
+    // Resolve the query list: builder mode defaults to (and only accepts)
+    // the queries migrated to the logical builder.
+    let queries: Vec<u32> = match (&args.queries, args.plan_mode) {
+        (Some(list), PlanMode::Handwritten) => list.clone(),
+        (None, PlanMode::Handwritten) => ALL_QUERIES.to_vec(),
+        (Some(list), PlanMode::Builder) => {
+            for &n in list {
+                tpch_logical(n).map_err(|e| e.to_string())?;
+            }
+            list.clone()
+        }
+        (None, PlanMode::Builder) => BUILDER_QUERIES.to_vec(),
+    };
+
     eprintln!(
-        "generating TPC-H SF {} and starting {}-node cluster ({} transport, {} engine)",
-        args.sf, args.nodes, args.transport, args.engine
+        "generating TPC-H SF {} and starting {}-node cluster ({} transport, {} engine, {} plans)",
+        args.sf,
+        args.nodes,
+        args.transport,
+        args.engine,
+        args.plan_mode.name()
     );
     let gen_started = Instant::now();
     let db = TpchDb::generate(args.sf);
@@ -181,13 +237,25 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("load failed: {e}"))?;
     let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
 
+    let planner = Planner::for_cluster(&cluster);
     let mut lines = Vec::new();
     let mut total_ms = 0.0f64;
     let mut log_sum = 0.0f64;
     let mut failures = 0u32;
-    for &n in &args.queries {
-        let query = tpch_query(n).map_err(|e| format!("query {n}: {e}"))?;
-        match cluster.run(&query) {
+    for &n in &queries {
+        let result: Result<QueryResult, _> = match args.plan_mode {
+            PlanMode::Handwritten => {
+                let query = tpch_query(n).map_err(|e| format!("query {n}: {e}"))?;
+                cluster.run(&query)
+            }
+            PlanMode::Builder => {
+                let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
+                planner
+                    .plan(&logical)
+                    .and_then(|plan| cluster.run_plan(&plan))
+            }
+        };
+        match result {
             Ok(result) => {
                 let ms = result.elapsed.as_secs_f64() * 1e3;
                 total_ms += ms;
@@ -215,10 +283,10 @@ fn run() -> Result<(), String> {
             }
         }
     }
-    let geomean_ms = if args.queries.is_empty() || failures > 0 {
+    let geomean_ms = if queries.is_empty() || failures > 0 {
         f64::NAN
     } else {
-        (log_sum / args.queries.len() as f64).exp()
+        (log_sum / queries.len() as f64).exp()
     };
     cluster.shutdown();
 
@@ -233,6 +301,7 @@ fn run() -> Result<(), String> {
         json_escape(&args.transport)
     );
     let _ = writeln!(report, "  \"engine\": \"{}\",", json_escape(&args.engine));
+    let _ = writeln!(report, "  \"plan_mode\": \"{}\",", args.plan_mode.name());
     let _ = writeln!(report, "  \"generate_ms\": {gen_ms:.3},");
     let _ = writeln!(report, "  \"load_ms\": {load_ms:.3},");
     let _ = writeln!(report, "  \"total_ms\": {total_ms:.3},");

@@ -12,9 +12,35 @@
 //! * [`tpch`] — a deterministic TPC-H-shaped data generator,
 //! * [`engine`] — the distributed query engine itself: hybrid parallelism,
 //!   decoupled exchange operators, the RDMA-based communication multiplexer,
-//!   and physical plans for all 22 TPC-H queries.
+//!   the logical plan builder + distributed planner, and physical plans for
+//!   all 22 TPC-H queries.
 //!
 //! ## Quickstart
+//!
+//! The programmable entry point is a [`Session`](engine::session::Session)
+//! running [`LogicalPlan`](engine::logical::LogicalPlan)s — the planner
+//! places exchanges, picks broadcast vs repartition joins, and inserts
+//! pre-aggregation:
+//!
+//! ```
+//! use hsqp::engine::expr::{col, lit};
+//! use hsqp::engine::logical::LogicalPlan;
+//! use hsqp::engine::plan::{AggFunc, AggSpec};
+//! use hsqp::engine::session::Session;
+//! use hsqp::tpch::TpchTable;
+//!
+//! let session = Session::builder().nodes(2).tpch(0.001).build().unwrap();
+//! let plan = LogicalPlan::scan(TpchTable::Lineitem)
+//!     .aggregate(
+//!         &["l_returnflag"],
+//!         vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")],
+//!     );
+//! let result = session.run(&plan).unwrap();
+//! assert!(result.row_count() > 0);
+//! session.shutdown();
+//! ```
+//!
+//! The hand-written distributed plans remain available as the oracle:
 //!
 //! ```
 //! use hsqp::engine::cluster::{Cluster, ClusterConfig};
