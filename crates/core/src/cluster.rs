@@ -20,15 +20,16 @@ use hsqp_net::{
 };
 use hsqp_numa::{AllocPolicy, CostModel, Topology};
 use hsqp_storage::placement::{chunk_split, hash_partition, Placement};
-use hsqp_storage::{Table, Value};
+use hsqp_storage::{DataType, Table, Value};
 use hsqp_tpch::{TpchDb, TpchTable};
 
 use crate::error::EngineError;
 use crate::exchange::{spawn_multiplexer, Endpoint, MessagePool, MuxCmd, MuxConfig, RecvHub};
 use crate::exec::{NodeCtx, NodeExec};
+use crate::expr::Expr;
 use crate::local::MorselDriver;
 use crate::plan::Plan;
-use crate::queries::Query;
+use crate::queries::{Query, QueryStage, StageRole};
 
 /// Which network stack the multiplexers use (the three lines of Figure 3).
 #[derive(Debug, Clone)]
@@ -412,18 +413,27 @@ impl Cluster {
 
     /// Run a single plan SPMD and return the coordinator's result.
     pub fn run_plan(&self, plan: &Plan) -> Result<QueryResult, EngineError> {
-        self.run_stages(std::slice::from_ref(plan))
+        self.run_stages(std::slice::from_ref(&QueryStage {
+            plan: plan.clone(),
+            role: StageRole::Result,
+        }))
     }
 
-    /// Run a multi-stage query: every stage before the last contributes its
-    /// first result row as parameters (`Expr::Param`) to later stages.
+    /// Run a multi-stage query: parameter stages bind their first result
+    /// row as `Expr::Param` values for later stages, materialization stages
+    /// register per-node temp relations for `Plan::TempScan`, and the final
+    /// stage produces the result.
     pub fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
         self.run_stages(&query.stages)
     }
 
-    fn run_stages(&self, stages: &[Plan]) -> Result<QueryResult, EngineError> {
+    fn run_stages(&self, stages: &[QueryStage]) -> Result<QueryResult, EngineError> {
         self.ensure_up()?;
-        assert!(!stages.is_empty(), "query needs at least one stage");
+        if stages.is_empty() {
+            return Err(EngineError::Planner(
+                "query needs at least one stage".into(),
+            ));
+        }
         let bytes_before = self.fabric.total_bytes_sent();
         let msgs_before: u64 = (0..self.cfg.nodes)
             .map(|i| self.fabric.stats(NodeId(i)).messages_sent())
@@ -431,20 +441,67 @@ impl Cluster {
         let started = Instant::now();
 
         let mut params: Vec<Value> = Vec::new();
+        let mut temps: Vec<HashMap<String, Arc<Table>>> = vec![HashMap::new(); self.nodes.len()];
         let mut final_table: Option<Table> = None;
-        for (stage_idx, plan) in stages.iter().enumerate() {
+        for stage in stages {
+            // Reject dangling temp references and unbound parameters before
+            // the plan reaches the node threads: a panic there would unwind
+            // through the SPMD scope and crash the caller instead of
+            // returning an error.
+            let mut referenced = Vec::new();
+            collect_temp_scans(&stage.plan, &mut referenced);
+            if let Some(name) = referenced.iter().find(|n| !temps[0].contains_key(**n)) {
+                return Err(EngineError::Planner(format!(
+                    "temp relation {name:?} is not materialized by an earlier stage"
+                )));
+            }
+            if let Some(m) = plan_max_param(&stage.plan) {
+                if m >= params.len() {
+                    return Err(EngineError::Planner(format!(
+                        "plan references parameter {m}, but earlier stages bind \
+                         only {} parameter(s)",
+                        params.len()
+                    )));
+                }
+            }
             let base = self.run_seq.fetch_add(1, Ordering::Relaxed) * 100_000;
-            let results = self.execute_spmd(plan, &params, base);
-            let coordinator = results.into_iter().next().expect("node 0 result");
-            if stage_idx + 1 == stages.len() {
-                final_table = Some(coordinator);
-            } else {
-                // Bind row 0 of the stage result as parameters, in column
-                // order. (The driver broadcasts these tiny scalars; the
-                // paper piggybacks such values on the control channel.)
-                assert!(coordinator.rows() >= 1, "parameter stage produced no rows");
-                for c in 0..coordinator.schema().len() {
-                    params.push(coordinator.value(0, c));
+            let results = self.execute_spmd(&stage.plan, &params, &temps, base);
+            match &stage.role {
+                StageRole::Result => {
+                    final_table = Some(results.into_iter().next().expect("node 0 result"));
+                }
+                StageRole::Params => {
+                    // Bind row 0 of the stage result as parameters, in
+                    // column order. (The driver broadcasts these tiny
+                    // scalars; the paper piggybacks such values on the
+                    // control channel.)
+                    let coordinator = results.into_iter().next().expect("node 0 result");
+                    if coordinator.rows() == 0 {
+                        return Err(EngineError::Execution(
+                            "parameter stage produced no rows".into(),
+                        ));
+                    }
+                    for c in 0..coordinator.schema().len() {
+                        // Bind Decimal scalars as promoted floats: that is
+                        // how expression evaluation reads Decimal columns,
+                        // so a raw fixed-point i64 here would compare 100x
+                        // off against any downstream column.
+                        let v = match (
+                            coordinator.schema().fields()[c].dtype,
+                            coordinator.value(0, c),
+                        ) {
+                            (DataType::Decimal, Value::I64(cents)) => {
+                                Value::F64(cents as f64 / 100.0)
+                            }
+                            (_, v) => v,
+                        };
+                        params.push(v);
+                    }
+                }
+                StageRole::Materialize(name) => {
+                    for (node_temps, part) in temps.iter_mut().zip(results) {
+                        node_temps.insert(name.clone(), Arc::new(part));
+                    }
                 }
             }
         }
@@ -454,19 +511,31 @@ impl Cluster {
             .map(|i| self.fabric.stats(NodeId(i)).messages_sent())
             .sum();
         Ok(QueryResult {
-            table: final_table.expect("last stage ran"),
+            table: final_table
+                .ok_or_else(|| EngineError::Planner("query has no result stage".into()))?,
             elapsed,
             bytes_shuffled: self.fabric.total_bytes_sent() - bytes_before,
             messages_sent: msgs_after - msgs_before,
         })
     }
 
-    fn execute_spmd(&self, plan: &Plan, params: &[Value], base: u32) -> Vec<Table> {
+    fn execute_spmd(
+        &self,
+        plan: &Plan,
+        params: &[Value],
+        temps: &[HashMap<String, Arc<Table>>],
+        base: u32,
+    ) -> Vec<Table> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
-                .map(|ctx| scope.spawn(move || NodeExec::new(ctx, params, base).execute(plan)))
+                .zip(temps)
+                .map(|(ctx, node_temps)| {
+                    scope.spawn(move || {
+                        NodeExec::with_temps(ctx, params, node_temps, base).execute(plan)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -504,6 +573,36 @@ impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Collect every temp-relation name a plan reads through `Plan::TempScan`.
+fn collect_temp_scans<'p>(plan: &'p Plan, out: &mut Vec<&'p str>) {
+    if let Plan::TempScan { name } = plan {
+        out.push(name);
+    }
+    for child in plan.children() {
+        collect_temp_scans(child, out);
+    }
+}
+
+/// Highest `Expr::Param` index referenced anywhere in a physical plan.
+fn plan_max_param(plan: &Plan) -> Option<usize> {
+    let own = match plan {
+        Plan::Scan { filter, .. } => filter.as_ref().and_then(Expr::max_param),
+        Plan::Filter { predicate, .. } => predicate.max_param(),
+        Plan::Map { outputs, .. } => outputs.iter().filter_map(|o| o.expr.max_param()).max(),
+        Plan::Aggregate { aggs, .. } => aggs.iter().filter_map(|a| a.expr.max_param()).max(),
+        Plan::TempScan { .. }
+        | Plan::HashJoin { .. }
+        | Plan::Sort { .. }
+        | Plan::Exchange { .. } => None,
+    };
+    own.max(
+        plan.children()
+            .iter()
+            .filter_map(|c| plan_max_param(c))
+            .max(),
+    )
 }
 
 #[cfg(test)]

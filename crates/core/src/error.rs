@@ -19,9 +19,9 @@ pub enum EngineError {
     /// The distributed planner rejected a logical plan (unknown column,
     /// ambiguous name, key arity mismatch, …).
     Planner(String),
-    /// The requested feature exists but is not available in this mode
-    /// (e.g. a TPC-H query not yet migrated to the logical builder).
-    Unsupported(String),
+    /// A query failed at run time for a data-dependent reason (e.g. a
+    /// scalar-subquery parameter stage produced no rows).
+    Execution(String),
 }
 
 impl fmt::Display for EngineError {
@@ -32,7 +32,7 @@ impl fmt::Display for EngineError {
             EngineError::ClusterDown => write!(f, "cluster already shut down"),
             EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Planner(msg) => write!(f, "planner error: {msg}"),
-            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }
@@ -58,9 +58,9 @@ mod tests {
         assert!(EngineError::Planner("no col".into())
             .to_string()
             .contains("no col"));
-        assert!(EngineError::Unsupported("q9".into())
+        assert!(EngineError::Execution("no rows".into())
             .to_string()
-            .contains("q9"));
+            .contains("no rows"));
     }
 
     #[test]

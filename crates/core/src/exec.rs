@@ -82,16 +82,37 @@ impl NodeCtx {
 pub struct NodeExec<'a> {
     ctx: &'a NodeCtx,
     params: &'a [Value],
+    temps: &'a HashMap<String, Arc<Table>>,
     next_exchange: AtomicU32,
 }
+
+/// An empty temp-relation map for single-stage plans without CTEs.
+static NO_TEMPS: std::sync::OnceLock<HashMap<String, Arc<Table>>> = std::sync::OnceLock::new();
 
 impl<'a> NodeExec<'a> {
     /// Executor with parameters bound and exchange ids starting at
     /// `exchange_base` (must be identical on all nodes for a given run).
     pub fn new(ctx: &'a NodeCtx, params: &'a [Value], exchange_base: u32) -> Self {
+        Self::with_temps(
+            ctx,
+            params,
+            NO_TEMPS.get_or_init(HashMap::new),
+            exchange_base,
+        )
+    }
+
+    /// [`new`](Self::new) plus this node's share of the temporary relations
+    /// materialized by earlier query stages ([`Plan::TempScan`] sources).
+    pub fn with_temps(
+        ctx: &'a NodeCtx,
+        params: &'a [Value],
+        temps: &'a HashMap<String, Arc<Table>>,
+        exchange_base: u32,
+    ) -> Self {
         Self {
             ctx,
             params,
+            temps,
             next_exchange: AtomicU32::new(exchange_base),
         }
     }
@@ -119,6 +140,16 @@ impl<'a> NodeExec<'a> {
                     }
                     None => filtered,
                 }
+            }
+            Plan::TempScan { name } => {
+                let t = self.temps.get(name).unwrap_or_else(|| {
+                    panic!(
+                        "temp relation {name:?} not materialized on node {} \
+                         (missing Materialize stage before this TempScan)",
+                        self.ctx.node.0
+                    )
+                });
+                (**t).clone()
             }
             Plan::Filter { input, predicate } => {
                 let t = self.execute(input);
@@ -196,9 +227,22 @@ impl<'a> NodeExec<'a> {
             t.rows(),
             |_| Vec::<(usize, Vec<Column>)>::new(),
             |acc, _, m| {
+                // One index vector per morsel, shared by every raw
+                // pass-through output.
+                let mut indices: Option<Vec<usize>> = None;
                 let cols: Vec<Column> = outputs
                     .iter()
-                    .map(|o| eval(&o.expr, t, m.range(), self.params).into_column().0)
+                    .map(|o| match &o.expr {
+                        // Bare column references pass through raw: evaluating
+                        // them would promote Decimal columns to f64 and lose
+                        // the fixed-point representation (and the Date/Decimal
+                        // logical type) across the projection.
+                        Expr::Col(name) if o.dtype.is_none() => {
+                            let indices = indices.get_or_insert_with(|| m.range().collect());
+                            t.column(t.schema().index_of(name)).gather(indices)
+                        }
+                        _ => eval(&o.expr, t, m.range(), self.params).into_column().0,
+                    })
                     .collect();
                 acc.push((m.start, cols));
             },
@@ -559,8 +603,12 @@ fn map_schema(t: &Table, outputs: &[MapExpr], params: &[Value]) -> Schema {
     let fields: Vec<Field> = outputs
         .iter()
         .map(|o| {
-            let (_, inferred) = eval(&o.expr, t, 0..0, params).into_column();
-            let dtype = o.dtype.unwrap_or(inferred);
+            let dtype = o.dtype.unwrap_or_else(|| match &o.expr {
+                // Matches the raw pass-through in `parallel_map`: a bare
+                // column reference keeps its input logical type.
+                Expr::Col(name) => t.schema().fields()[t.schema().index_of(name)].dtype,
+                _ => eval(&o.expr, t, 0..0, params).into_column().1,
+            });
             Field::nullable(o.name.clone(), dtype)
         })
         .collect();

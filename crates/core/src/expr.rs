@@ -104,6 +104,14 @@ pub fn lit_date(y: i64, m: u32, d: u32) -> Expr {
     Expr::LitI64(hsqp_storage::date_from_ymd(y, m, d))
 }
 
+/// Reference to query parameter `i` — bound by the first result row of an
+/// earlier [`LogicalQuery`](crate::logical::LogicalQuery) stage (scalar
+/// subquery decorrelation: parameters are numbered across stages in column
+/// order).
+pub fn param(i: usize) -> Expr {
+    Expr::Param(i)
+}
+
 impl Expr {
     /// `self = other`.
     pub fn eq(self, other: Expr) -> Expr {
@@ -240,6 +248,30 @@ impl Expr {
                 cond.collect_columns(out);
                 then.collect_columns(out);
                 els.collect_columns(out);
+            }
+        }
+    }
+
+    /// The largest [`Expr::Param`] index referenced by this expression, if
+    /// any. The planner uses this to reject stages that reference
+    /// parameters no earlier stage binds.
+    pub fn max_param(&self) -> Option<usize> {
+        match self {
+            Expr::Param(i) => Some(*i),
+            Expr::Col(_) | Expr::LitI64(_) | Expr::LitF64(_) | Expr::LitStr(_) => None,
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => a.max_param().max(b.max_param()),
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().filter_map(Expr::max_param).max()
+            }
+            Expr::Not(c)
+            | Expr::Like(c, _)
+            | Expr::InStr(c, _)
+            | Expr::InI64(c, _)
+            | Expr::Substr(c, _, _)
+            | Expr::ExtractYear(c)
+            | Expr::IsNull(c) => c.max_param(),
+            Expr::Case(cond, then, els) => {
+                cond.max_param().max(then.max_param()).max(els.max_param())
             }
         }
     }

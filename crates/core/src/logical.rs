@@ -62,6 +62,14 @@ pub enum LogicalPlan {
         /// Relation to scan.
         table: TpchTable,
     },
+    /// Scan a named shared subplan registered on the enclosing
+    /// [`LogicalQuery`] via [`with`](LogicalQuery::with). The subplan is
+    /// planned and materialized once; every `CteScan` of the same name
+    /// reads the materialized result.
+    CteScan {
+        /// Name the subplan was registered under.
+        name: String,
+    },
     /// Keep rows where `predicate` evaluates to true.
     Filter {
         /// Input plan.
@@ -124,6 +132,15 @@ impl LogicalPlan {
     /// planner).
     pub fn scan(table: TpchTable) -> LogicalPlan {
         LogicalPlan::Scan { table }
+    }
+
+    /// Scan the shared subplan registered as `name` on the enclosing
+    /// [`LogicalQuery`] (CTE-style reuse: the subplan is planned and
+    /// materialized once, however many times it is scanned).
+    pub fn from_cte(name: &str) -> LogicalPlan {
+        LogicalPlan::CteScan {
+            name: name.to_string(),
+        }
     }
 
     /// Keep rows satisfying `predicate`. Filters directly above a scan are
@@ -215,7 +232,7 @@ impl LogicalPlan {
     /// Direct children of this node.
     pub fn children(&self) -> Vec<&LogicalPlan> {
         match self {
-            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Scan { .. } | LogicalPlan::CteScan { .. } => vec![],
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -232,6 +249,135 @@ impl LogicalPlan {
             .iter()
             .map(|c| c.node_count())
             .sum::<usize>()
+    }
+
+    /// The largest [`Expr::Param`] index referenced anywhere in the tree,
+    /// if any. The planner rejects stages referencing parameters that no
+    /// earlier stage binds.
+    pub fn max_param(&self) -> Option<usize> {
+        let own = match self {
+            LogicalPlan::Filter { predicate, .. } => predicate.max_param(),
+            LogicalPlan::Project { outputs, .. } => {
+                outputs.iter().filter_map(|o| o.expr.max_param()).max()
+            }
+            LogicalPlan::Aggregate { aggs, .. } => {
+                aggs.iter().filter_map(|a| a.expr.max_param()).max()
+            }
+            _ => None,
+        };
+        self.children()
+            .iter()
+            .filter_map(|c| c.max_param())
+            .chain(own)
+            .max()
+    }
+}
+
+/// A multi-stage query: the unit the [`Planner`](crate::planner::Planner)
+/// lowers and a [`Session`](crate::session::Session) runs.
+///
+/// A `LogicalQuery` composes three kinds of parts, mirroring how HyPer-style
+/// unnesting decorrelates subqueries into earlier plan *stages* (the shape
+/// of the paper's Figure 6 plans):
+///
+/// * **Named shared subplans** ([`with`](Self::with)) — planned and
+///   materialized once per query; every [`LogicalPlan::from_cte`] scan of
+///   the same name reads the materialized result. The planner decides
+///   whether the temp relation is broadcast (small) or left partitioned.
+/// * **Scalar stages** ([`stage`](Self::stage) / [`then`](Self::then), all
+///   but the last) — each runs to completion and binds its first result
+///   row as [`Expr::Param`] values, numbered in
+///   column order across stages, for every later stage.
+/// * **The result stage** — the last stage; its output is the query result.
+///
+/// A plain [`LogicalPlan`] converts into a single-stage query via `From`,
+/// so `Session::run` accepts both:
+///
+/// ```
+/// use hsqp_engine::logical::{LogicalPlan, LogicalQuery};
+/// use hsqp_engine::expr::{col, param};
+/// use hsqp_engine::plan::{AggFunc, AggSpec};
+/// use hsqp_tpch::TpchTable;
+///
+/// // "suppliers whose account balance beats the average" — the average is
+/// // a scalar subquery, decorrelated into an earlier stage.
+/// let average = LogicalPlan::scan(TpchTable::Supplier)
+///     .aggregate(&[], vec![AggSpec::new(AggFunc::Avg, col("s_acctbal"), "avg_bal")]);
+/// let winners = LogicalPlan::scan(TpchTable::Supplier)
+///     .filter(col("s_acctbal").gt(param(0)));
+/// let query = LogicalQuery::stage(average).then(winners);
+/// assert_eq!(query.stages().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalQuery {
+    ctes: Vec<(String, LogicalPlan)>,
+    stages: Vec<LogicalPlan>,
+}
+
+impl LogicalQuery {
+    /// Start a query with `plan` as its first stage. If further stages are
+    /// added with [`then`](Self::then), this stage becomes a scalar
+    /// parameter stage; otherwise it is the result stage.
+    pub fn stage(plan: LogicalPlan) -> LogicalQuery {
+        LogicalQuery {
+            ctes: Vec::new(),
+            stages: vec![plan],
+        }
+    }
+
+    /// Start a query by registering the shared subplan `name` (see
+    /// [`with`](Self::with)); add stages with [`then`](Self::then).
+    pub fn cte(name: &str, plan: LogicalPlan) -> LogicalQuery {
+        LogicalQuery {
+            ctes: vec![(name.to_string(), plan)],
+            stages: Vec::new(),
+        }
+    }
+
+    /// Append a stage. All stages before the last are scalar parameter
+    /// stages: stage `k`'s first result row extends the parameter list that
+    /// [`Expr::Param`] indexes in later stages.
+    pub fn then(mut self, plan: LogicalPlan) -> LogicalQuery {
+        self.stages.push(plan);
+        self
+    }
+
+    /// Register a named shared subplan. CTEs are materialized (in
+    /// registration order, before any scalar stage runs) and may reference
+    /// earlier CTEs, but not stage parameters. Scanned with
+    /// [`LogicalPlan::from_cte`].
+    pub fn with(mut self, name: &str, plan: LogicalPlan) -> LogicalQuery {
+        self.ctes.push((name.to_string(), plan));
+        self
+    }
+
+    /// Registered shared subplans, in registration (= materialization)
+    /// order.
+    pub fn ctes(&self) -> &[(String, LogicalPlan)] {
+        &self.ctes
+    }
+
+    /// The stages in execution order; the last one produces the result.
+    pub fn stages(&self) -> &[LogicalPlan] {
+        &self.stages
+    }
+}
+
+impl From<LogicalPlan> for LogicalQuery {
+    fn from(plan: LogicalPlan) -> LogicalQuery {
+        LogicalQuery::stage(plan)
+    }
+}
+
+impl From<&LogicalPlan> for LogicalQuery {
+    fn from(plan: &LogicalPlan) -> LogicalQuery {
+        LogicalQuery::stage(plan.clone())
+    }
+}
+
+impl From<&LogicalQuery> for LogicalQuery {
+    fn from(query: &LogicalQuery) -> LogicalQuery {
+        query.clone()
     }
 }
 

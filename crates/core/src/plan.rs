@@ -158,6 +158,13 @@ pub enum Plan {
         /// Columns to keep (None = all).
         project: Option<Vec<String>>,
     },
+    /// Scan this node's share of a temporary relation materialized by an
+    /// earlier query stage (a [`LogicalQuery`](crate::logical::LogicalQuery)
+    /// CTE registered via `.with(name, plan)`).
+    TempScan {
+        /// Name of the materialized relation.
+        name: String,
+    },
     /// Filter rows by a predicate.
     Filter {
         /// Input plan.
@@ -242,6 +249,13 @@ impl Plan {
         }
     }
 
+    /// Scan a temporary relation materialized by an earlier query stage.
+    pub fn temp_scan(name: &str) -> Plan {
+        Plan::TempScan {
+            name: name.to_string(),
+        }
+    }
+
     /// Add a filter on top.
     pub fn filter(self, predicate: Expr) -> Plan {
         Plan::Filter {
@@ -323,6 +337,87 @@ impl Plan {
         }
     }
 
+    /// Render the plan as an indented operator tree, one operator per
+    /// line — exchange placement (gather / broadcast / hash-partition) is
+    /// what `hsqp --explain` exists to show.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            Plan::Scan {
+                table,
+                filter,
+                project,
+            } => {
+                let _ = write!(out, "Scan {}", table.name());
+                if let Some(cols) = project {
+                    let _ = write!(out, " [{}]", cols.join(", "));
+                }
+                if filter.is_some() {
+                    out.push_str(" (filtered)");
+                }
+            }
+            Plan::TempScan { name } => {
+                let _ = write!(out, "TempScan {name:?}");
+            }
+            Plan::Filter { .. } => out.push_str("Filter"),
+            Plan::Map { outputs, .. } => {
+                let names: Vec<&str> = outputs.iter().map(|o| o.name.as_str()).collect();
+                let _ = write!(out, "Map [{}]", names.join(", "));
+            }
+            Plan::HashJoin {
+                probe_keys,
+                build_keys,
+                kind,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "HashJoin {kind:?} on {} = {}",
+                    probe_keys.join(", "),
+                    build_keys.join(", ")
+                );
+            }
+            Plan::Aggregate {
+                group_by, phase, ..
+            } => {
+                let _ = write!(out, "Aggregate {phase:?}");
+                if !group_by.is_empty() {
+                    let _ = write!(out, " by [{}]", group_by.join(", "));
+                }
+            }
+            Plan::Sort { keys, limit, .. } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.desc { " desc" } else { "" }))
+                    .collect();
+                let _ = write!(out, "Sort [{}]", keys.join(", "));
+                if let Some(n) = limit {
+                    let _ = write!(out, " limit {n}");
+                }
+            }
+            Plan::Exchange { kind, .. } => match kind {
+                ExchangeKind::HashPartition(keys) => {
+                    let _ = write!(out, "Exchange HashPartition [{}]", keys.join(", "));
+                }
+                ExchangeKind::Broadcast => out.push_str("Exchange Broadcast"),
+                ExchangeKind::Gather => out.push_str("Exchange Gather"),
+            },
+        }
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
     /// Number of [`Plan::Exchange`] operators in the tree.
     pub fn exchange_count(&self) -> usize {
         let own = usize::from(matches!(self, Plan::Exchange { .. }));
@@ -336,7 +431,7 @@ impl Plan {
     /// Direct children of this node.
     pub fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan { .. } => vec![],
+            Plan::Scan { .. } | Plan::TempScan { .. } => vec![],
             Plan::Filter { input, .. }
             | Plan::Map { input, .. }
             | Plan::Aggregate { input, .. }

@@ -21,15 +21,16 @@
 //! directly above a scan are pushed into it ("columns that are not required
 //! … are pruned as early as possible", §3.2.1).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hsqp_tpch::TpchTable;
 
 use crate::cluster::Cluster;
 use crate::error::EngineError;
 use crate::expr::Expr;
-use crate::logical::{JoinStrategy, LogicalPlan};
+use crate::logical::{JoinStrategy, LogicalPlan, LogicalQuery};
 use crate::plan::{AggFunc, AggPhase, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
+use crate::queries::{Query, QueryStage, StageRole};
 
 /// Base-relation cardinality estimates, the planner's cost-model input.
 #[derive(Debug, Clone)]
@@ -102,6 +103,18 @@ impl PlannerConfig {
 #[derive(Debug, Clone)]
 pub struct Planner {
     cfg: PlannerConfig,
+    /// Shared subplans registered while lowering a [`LogicalQuery`]:
+    /// schema, distribution, and cardinality of each materialized temp
+    /// relation, threaded into every `CteScan` of the same name.
+    ctes: BTreeMap<String, CteInfo>,
+}
+
+/// Planner-tracked properties of one materialized CTE.
+#[derive(Debug, Clone)]
+struct CteInfo {
+    cols: Vec<String>,
+    part: Part,
+    est: f64,
 }
 
 /// How a subplan's rows are distributed across the cluster.
@@ -167,7 +180,10 @@ fn selectivity(e: &Expr) -> f64 {
 impl Planner {
     /// A planner for the given configuration.
     pub fn new(cfg: PlannerConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            ctes: BTreeMap::new(),
+        }
     }
 
     /// A planner configured from a running cluster: node count from the
@@ -180,7 +196,7 @@ impl Planner {
                 cfg.stats.set_rows(table, rows as f64);
             }
         }
-        Self { cfg }
+        Self::new(cfg)
     }
 
     /// The active configuration.
@@ -192,17 +208,159 @@ impl Planner {
     /// complete on the coordinator (node 0).
     pub fn plan(&self, logical: &LogicalPlan) -> Result<Plan, EngineError> {
         let lowered = self.lower(logical, None)?;
-        Ok(match lowered.part {
-            // Node 0 already holds the full result.
-            Part::Single | Part::Replicated => lowered.plan,
-            Part::Any | Part::Hash(_) => lowered.plan.gather(),
-        })
+        Ok(finish_on_coordinator(lowered))
+    }
+
+    /// Lower a multi-stage [`LogicalQuery`] to a physical [`Query`].
+    ///
+    /// CTEs are lowered first, in registration order: each is planned once
+    /// and becomes a [`StageRole::Materialize`] stage whose per-node
+    /// results later stages read through `Plan::TempScan`. Small CTE
+    /// results (≤ the broadcast threshold) are broadcast so every node
+    /// holds a full copy; larger ones stay partitioned where the plan
+    /// produced them, and the planner threads their partitioning property
+    /// and cardinality estimate into every use. Scalar stages follow: each
+    /// is planned to completion on the coordinator and its first result
+    /// row extends the parameter list (`Expr::Param`, numbered in column
+    /// order across stages) that later stages may reference. The last
+    /// stage produces the result.
+    ///
+    /// Rejects parameters no earlier stage binds, CTEs that reference
+    /// parameters, duplicate or unknown CTE names, and queries without a
+    /// result stage — all as [`EngineError::Planner`].
+    pub fn plan_query(&self, query: &LogicalQuery) -> Result<Query, EngineError> {
+        let mut p = self.clone();
+        let mut stages: Vec<QueryStage> = Vec::new();
+        for (name, plan) in query.ctes() {
+            if p.ctes.contains_key(name) {
+                return planner_err(format!("duplicate CTE name {name:?}"));
+            }
+            if plan.max_param().is_some() {
+                return planner_err(format!(
+                    "CTE {name:?} references stage parameters; CTEs are \
+                     materialized before any parameter stage runs"
+                ));
+            }
+            let Lowered {
+                plan: lowered,
+                cols,
+                part,
+                est,
+            } = p.lower(plan, None)?;
+            // Materialize small CTE results on every node; leave larger
+            // ones distributed the way the plan produced them (partitioned
+            // temp tables keep their partitioning property for reuse).
+            let (mplan, part) = match part {
+                Part::Any | Part::Hash(_) if est <= p.cfg.broadcast_max_rows => {
+                    (lowered.broadcast(), Part::Replicated)
+                }
+                part => (lowered, part),
+            };
+            p.ctes.insert(name.clone(), CteInfo { cols, part, est });
+            stages.push(QueryStage {
+                plan: mplan,
+                role: StageRole::Materialize(name.clone()),
+            });
+        }
+
+        if query.stages().is_empty() {
+            return planner_err("query needs at least one stage");
+        }
+        let mut params_bound = 0usize;
+        let last = query.stages().len() - 1;
+        for (i, stage) in query.stages().iter().enumerate() {
+            if let Some(m) = stage.max_param() {
+                if m >= params_bound {
+                    return planner_err(format!(
+                        "stage {} references parameter {m}, but earlier stages \
+                         bind only {params_bound} parameter(s)",
+                        i + 1
+                    ));
+                }
+            }
+            let lowered = p.lower(stage, None)?;
+            let n_cols = lowered.cols.len();
+            let plan = finish_on_coordinator(lowered);
+            if i == last {
+                stages.push(QueryStage {
+                    plan,
+                    role: StageRole::Result,
+                });
+            } else {
+                stages.push(QueryStage {
+                    plan,
+                    role: StageRole::Params,
+                });
+                params_bound += n_cols;
+            }
+        }
+        Query::from_stages(0, stages)
     }
 
     /// Output column names of `logical` (what [`plan`](Self::plan) will
-    /// produce, in order).
+    /// produce, in order). A plan that reads a CTE can only be resolved in
+    /// the context of its owning query — use
+    /// [`query_output_columns`](Self::query_output_columns) for those.
     pub fn output_columns(&self, logical: &LogicalPlan) -> Result<Vec<String>, EngineError> {
-        logical_columns(logical)
+        self.logical_columns(logical)
+    }
+
+    /// Output column names of a [`LogicalQuery`]'s result stage (what
+    /// [`plan_query`](Self::plan_query) will produce, in order), resolving
+    /// `from_cte` scans against the query's registered CTEs.
+    pub fn query_output_columns(&self, query: &LogicalQuery) -> Result<Vec<String>, EngineError> {
+        let mut p = self.clone();
+        for (name, plan) in query.ctes() {
+            let cols = p.logical_columns(plan)?;
+            p.ctes.insert(
+                name.clone(),
+                CteInfo {
+                    cols,
+                    part: Part::Any,
+                    est: 0.0,
+                },
+            );
+        }
+        match query.stages().last() {
+            Some(stage) => p.logical_columns(stage),
+            None => planner_err("query needs at least one stage"),
+        }
+    }
+
+    /// Output column names of a logical plan, without lowering it.
+    fn logical_columns(&self, node: &LogicalPlan) -> Result<Vec<String>, EngineError> {
+        match node {
+            LogicalPlan::Scan { table } => Ok(table_columns(*table)),
+            LogicalPlan::CteScan { name } => self
+                .ctes
+                .get(name)
+                .map(|info| info.cols.clone())
+                .ok_or_else(|| {
+                    EngineError::Planner(format!(
+                        "unknown CTE {name:?} (register it with LogicalQuery::with)"
+                    ))
+                }),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => self.logical_columns(input),
+            LogicalPlan::Project { outputs, .. } => {
+                Ok(outputs.iter().map(|o| o.name.clone()).collect())
+            }
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
+                let mut cols = self.logical_columns(left)?;
+                if matches!(kind, JoinKind::Inner | JoinKind::LeftOuter) {
+                    cols.extend(self.logical_columns(right)?);
+                }
+                Ok(cols)
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let mut cols = group_by.clone();
+                cols.extend(aggs.iter().map(|a| a.name.clone()));
+                Ok(cols)
+            }
+        }
     }
 
     // -- lowering -----------------------------------------------------------
@@ -217,6 +375,22 @@ impl Planner {
     ) -> Result<Lowered, EngineError> {
         match node {
             LogicalPlan::Scan { table } => Ok(self.lower_scan(*table, None, required)),
+            LogicalPlan::CteScan { name } => {
+                let info = self.ctes.get(name).ok_or_else(|| {
+                    EngineError::Planner(format!(
+                        "unknown CTE {name:?} (register it with LogicalQuery::with)"
+                    ))
+                })?;
+                // Temp relations are materialized already pruned (the CTE
+                // plan itself went through scan pruning), so `required` is
+                // not applied here.
+                Ok(Lowered {
+                    plan: Plan::temp_scan(name),
+                    cols: info.cols.clone(),
+                    part: info.part.clone(),
+                    est: info.est,
+                })
+            }
             LogicalPlan::Filter { input, predicate } => {
                 if let LogicalPlan::Scan { table } = &**input {
                     let cols = table_columns(*table);
@@ -366,8 +540,8 @@ impl Planner {
         let (lreq, rreq) = match required {
             None => (None, None),
             Some(req) => {
-                let lcols: BTreeSet<String> = logical_columns(left)?.into_iter().collect();
-                let rcols: BTreeSet<String> = logical_columns(right)?.into_iter().collect();
+                let lcols: BTreeSet<String> = self.logical_columns(left)?.into_iter().collect();
+                let rcols: BTreeSet<String> = self.logical_columns(right)?.into_iter().collect();
                 let mut lr: BTreeSet<String> =
                     req.iter().filter(|c| lcols.contains(*c)).cloned().collect();
                 lr.extend(left_keys.iter().cloned());
@@ -715,6 +889,15 @@ fn join_plan(
     }
 }
 
+/// Complete a lowered plan on the coordinator: gather unless node 0
+/// already holds the full result.
+fn finish_on_coordinator(lowered: Lowered) -> Plan {
+    match lowered.part {
+        Part::Single | Part::Replicated => lowered.plan,
+        Part::Any | Part::Hash(_) => lowered.plan.gather(),
+    }
+}
+
 /// A sort/limit needs the full result in one place: gather unless the
 /// coordinator already holds it.
 fn gathered(plan: Plan, part: Part) -> (Plan, Part) {
@@ -807,33 +990,6 @@ fn check_unique(cols: &[String], what: &str) -> Result<(), EngineError> {
         }
     }
     Ok(())
-}
-
-/// Output column names of a logical plan, without lowering it.
-fn logical_columns(node: &LogicalPlan) -> Result<Vec<String>, EngineError> {
-    match node {
-        LogicalPlan::Scan { table } => Ok(table_columns(*table)),
-        LogicalPlan::Filter { input, .. }
-        | LogicalPlan::Sort { input, .. }
-        | LogicalPlan::Limit { input, .. } => logical_columns(input),
-        LogicalPlan::Project { outputs, .. } => {
-            Ok(outputs.iter().map(|o| o.name.clone()).collect())
-        }
-        LogicalPlan::Join {
-            left, right, kind, ..
-        } => {
-            let mut cols = logical_columns(left)?;
-            if matches!(kind, JoinKind::Inner | JoinKind::LeftOuter) {
-                cols.extend(logical_columns(right)?);
-            }
-            Ok(cols)
-        }
-        LogicalPlan::Aggregate { group_by, aggs, .. } => {
-            let mut cols = group_by.clone();
-            cols.extend(aggs.iter().map(|a| a.name.clone()));
-            Ok(cols)
-        }
-    }
 }
 
 #[cfg(test)]

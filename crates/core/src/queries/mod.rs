@@ -17,18 +17,47 @@ pub mod builder;
 mod helpers;
 
 pub use aggregates::q1_no_preagg;
-pub use builder::{tpch_logical, BUILDER_QUERIES};
+pub use builder::tpch_logical;
 pub use helpers::{dist_agg, dist_agg_nopre, global_agg};
 mod joins;
 mod subqueries;
 
-/// A multi-stage query: every stage before the last contributes its first
-/// result row as parameters to subsequent stages.
+/// Q22's country-code prefixes — spec input shared by the handwritten and
+/// builder variants so the two cannot silently diverge.
+pub(crate) const Q22_CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
+
+/// What the cluster does with one stage's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageRole {
+    /// Bind the first row of the coordinator's result as query parameters
+    /// ([`Expr::Param`](crate::expr::Expr::Param)), appended in column
+    /// order after parameters bound by earlier stages.
+    Params,
+    /// Keep every node's local output as a temporary relation under this
+    /// name, readable by later stages through
+    /// [`Plan::TempScan`].
+    Materialize(String),
+    /// The query result (always and only the last stage).
+    Result,
+}
+
+/// One stage of a physical [`Query`].
+#[derive(Debug, Clone)]
+pub struct QueryStage {
+    /// The distributed plan to execute SPMD.
+    pub plan: Plan,
+    /// What happens to its output.
+    pub role: StageRole,
+}
+
+/// A multi-stage physical query: parameter and materialization stages run
+/// first, the final stage produces the result.
 #[derive(Debug, Clone)]
 pub struct Query {
     /// Stages in execution order; the last produces the result.
-    pub stages: Vec<Plan>,
-    /// TPC-H query number (1–22), for reporting.
+    pub stages: Vec<QueryStage>,
+    /// TPC-H query number (1–22) for reporting; 0 for ad-hoc queries
+    /// lowered from a [`LogicalQuery`](crate::logical::LogicalQuery).
     pub number: u32,
 }
 
@@ -36,15 +65,49 @@ impl Query {
     /// Single-stage query.
     pub fn single(number: u32, plan: Plan) -> Self {
         Self {
-            stages: vec![plan],
+            stages: vec![QueryStage {
+                plan,
+                role: StageRole::Result,
+            }],
             number,
         }
     }
 
-    /// Multi-stage query.
-    pub fn staged(number: u32, stages: Vec<Plan>) -> Self {
-        assert!(!stages.is_empty(), "query needs at least one stage");
-        Self { stages, number }
+    /// Multi-stage query: every stage before the last binds its first
+    /// result row as parameters for later stages; the last produces the
+    /// result. Fails with [`EngineError::Planner`] when `stages` is empty.
+    pub fn staged(number: u32, stages: Vec<Plan>) -> Result<Self, EngineError> {
+        Self::from_stages(
+            number,
+            stages
+                .into_iter()
+                .map(|plan| QueryStage {
+                    plan,
+                    role: StageRole::Params,
+                })
+                .collect(),
+        )
+    }
+
+    /// Build a query from fully described stages. The last stage's role is
+    /// forced to [`StageRole::Result`]; fails with [`EngineError::Planner`]
+    /// when `stages` is empty or a non-final stage is marked `Result`.
+    pub fn from_stages(number: u32, mut stages: Vec<QueryStage>) -> Result<Self, EngineError> {
+        let Some(last) = stages.last_mut() else {
+            return Err(EngineError::Planner(
+                "query needs at least one stage".into(),
+            ));
+        };
+        last.role = StageRole::Result;
+        if stages[..stages.len() - 1]
+            .iter()
+            .any(|s| s.role == StageRole::Result)
+        {
+            return Err(EngineError::Planner(
+                "only the last stage may produce the result".into(),
+            ));
+        }
+        Ok(Self { stages, number })
     }
 }
 
@@ -61,18 +124,18 @@ pub fn tpch_query(n: u32) -> Result<Query, EngineError> {
         8 => joins::q8(),
         9 => joins::q9(),
         10 => joins::q10(),
-        11 => subqueries::q11(),
+        11 => subqueries::q11()?,
         12 => joins::q12(),
         13 => aggregates::q13(),
         14 => joins::q14(),
-        15 => subqueries::q15(),
+        15 => subqueries::q15()?,
         16 => aggregates::q16(),
         17 => subqueries::q17(),
         18 => subqueries::q18(),
         19 => joins::q19(),
         20 => subqueries::q20(),
         21 => subqueries::q21(),
-        22 => subqueries::q22(),
+        22 => subqueries::q22()?,
         _ => return Err(EngineError::UnknownQuery(n)),
     };
     Ok(q)
@@ -108,10 +171,41 @@ mod tests {
             let q = tpch_query(n).unwrap();
             for stage in &q.stages {
                 assert!(
-                    stage.exchange_count() > 0,
+                    stage.plan.exchange_count() > 0,
                     "query {n} stage has no exchange (cannot gather)"
                 );
             }
         }
+    }
+
+    #[test]
+    fn stage_roles_are_validated() {
+        assert!(matches!(
+            Query::staged(1, vec![]),
+            Err(EngineError::Planner(_))
+        ));
+        let q = Query::staged(
+            11,
+            vec![Plan::scan(hsqp_tpch::TpchTable::Nation).gather(); 2],
+        )
+        .unwrap();
+        assert_eq!(q.stages[0].role, StageRole::Params);
+        assert_eq!(q.stages[1].role, StageRole::Result);
+        assert!(matches!(
+            Query::from_stages(
+                0,
+                vec![
+                    QueryStage {
+                        plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
+                        role: StageRole::Result,
+                    },
+                    QueryStage {
+                        plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
+                        role: StageRole::Params,
+                    },
+                ],
+            ),
+            Err(EngineError::Planner(_))
+        ));
     }
 }

@@ -2,11 +2,12 @@
 //! 21, 22 — manually decorrelated into joins, aggregations, and parameter
 //! stages, the way HyPer's unnesting rewrites them.
 
-use hsqp_storage::date_from_ymd;
+use hsqp_storage::{date_from_ymd, DataType};
 use hsqp_tpch::TpchTable;
 
 use super::helpers::{dist_agg, dist_agg_nopre, global_agg};
-use super::Query;
+use super::{Query, Q22_CODES};
+use crate::error::EngineError;
 use crate::expr::{col, lit, litf, lits, Expr};
 use crate::plan::{AggFunc, AggSpec, JoinKind, MapExpr, Plan, SortKey};
 
@@ -59,10 +60,11 @@ fn q2_eur_partsupp() -> Plan {
         JoinKind::Inner,
     )
     // The cost must become a float so it can equi-join against the
-    // MIN() aggregate below (same doubles, bit-identical).
+    // MIN() aggregate below (same doubles, bit-identical) — an explicit
+    // cast, since bare column references keep their Decimal type.
     .map(vec![
         MapExpr::new("ps_partkey", col("ps_partkey")),
-        MapExpr::new("cost", col("ps_supplycost")),
+        MapExpr::typed("cost", col("ps_supplycost"), DataType::Float64),
         MapExpr::new("s_acctbal", col("s_acctbal")),
         MapExpr::new("s_name", col("s_name")),
         MapExpr::new("n_name", col("n_name")),
@@ -178,7 +180,7 @@ fn q11_germany_partsupp() -> Plan {
 
 /// Q11 — important stock identification. Stage 1 computes the global stock
 /// value (the HAVING threshold); stage 2 filters groups against it.
-pub fn q11() -> Query {
+pub fn q11() -> Result<Query, EngineError> {
     let total = global_agg(
         q11_germany_partsupp(),
         vec![AggSpec::new(AggFunc::Sum, col("stock_value"), "total")],
@@ -212,7 +214,7 @@ fn q15_revenue_view() -> Plan {
 /// Q15 — top supplier. Stage 1 finds the maximum view revenue; stage 2
 /// re-derives the view and keeps the supplier(s) within float epsilon of
 /// the maximum (distributed f64 summation is order-sensitive).
-pub fn q15() -> Query {
+pub fn q15() -> Result<Query, EngineError> {
     let max_rev = global_agg(
         q15_revenue_view(),
         vec![AggSpec::new(AggFunc::Max, col("total_revenue"), "max_rev")],
@@ -489,12 +491,10 @@ pub fn q21() -> Query {
     )
 }
 
-const Q22_CODES: [&str; 7] = ["13", "31", "23", "29", "30", "18", "17"];
-
 /// Q22 — global sales opportunity. Stage 1 computes the average positive
 /// account balance; stage 2 anti-joins orders away and groups by country
 /// code.
-pub fn q22() -> Query {
+pub fn q22() -> Result<Query, EngineError> {
     let avg_bal = global_agg(
         Plan::scan_filtered(
             TpchTable::Customer,

@@ -31,7 +31,7 @@ use hsqp_tpch::TpchDb;
 
 use crate::cluster::{Cluster, ClusterConfig, EngineKind, QueryResult, Transport};
 use crate::error::EngineError;
-use crate::logical::LogicalPlan;
+use crate::logical::{LogicalPlan, LogicalQuery};
 use crate::plan::Plan;
 use crate::planner::Planner;
 use crate::queries::Query;
@@ -155,10 +155,24 @@ impl Session {
         self.planner().plan(logical)
     }
 
-    /// Plan and execute a logical plan, returning the coordinator's result.
-    pub fn run(&self, logical: &LogicalPlan) -> Result<QueryResult, EngineError> {
-        let plan = self.physical_plan(logical)?;
-        self.cluster.run_plan(&plan)
+    /// Lower a (possibly multi-stage) query to the physical [`Query`]
+    /// [`run`](Self::run) would execute — CTE materialization stages,
+    /// parameter stages, and the result stage, each a distributed plan.
+    pub fn physical_query(&self, query: impl Into<LogicalQuery>) -> Result<Query, EngineError> {
+        self.planner().plan_query(&query.into())
+    }
+
+    /// Plan and execute a query, returning the coordinator's result.
+    ///
+    /// Accepts anything convertible into a [`LogicalQuery`]: a single
+    /// [`LogicalPlan`] (by value or reference) runs as a one-stage query,
+    /// while a [`LogicalQuery`] built with
+    /// [`stage`](LogicalQuery::stage) / [`with`](LogicalQuery::with) /
+    /// [`then`](LogicalQuery::then) runs its CTE materializations and
+    /// scalar parameter stages before the result stage.
+    pub fn run(&self, query: impl Into<LogicalQuery>) -> Result<QueryResult, EngineError> {
+        let physical = self.planner().plan_query(&query.into())?;
+        self.cluster.run(&physical)
     }
 
     /// Execute a hand-written physical [`Query`] (the differential-testing
@@ -172,10 +186,11 @@ impl Session {
         &self.cluster
     }
 
-    /// Tear the session down.
-    pub fn shutdown(self) {
-        self.cluster.shutdown();
-    }
+    /// Tear the session down: consumes the session, whose drop stops the
+    /// simulated cluster's multiplexer threads and joins each one — so a
+    /// forgotten `shutdown()` cannot leak them either. Provided as the
+    /// explicit, graceful path.
+    pub fn shutdown(self) {}
 }
 
 #[cfg(test)]

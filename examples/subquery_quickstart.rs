@@ -1,0 +1,95 @@
+//! Subquery quickstart: a multi-stage `LogicalQuery` with a shared
+//! subplan (CTE) and a scalar parameter stage.
+//!
+//! The query is Q15's shape — "which supplier produced the most revenue?"
+//! — written the way HyPer-style unnesting decorrelates it: the revenue
+//! view is registered once with `.with(...)` and scanned by both stages,
+//! and the scalar subquery `max(total_revenue)` becomes an earlier stage
+//! whose first result row binds `param(0)` in the final stage.
+//!
+//! ```bash
+//! cargo run --release --example subquery_quickstart
+//! ```
+
+use hsqp::engine::cluster::Transport;
+use hsqp::engine::expr::{col, litf, param};
+use hsqp::engine::logical::{LogicalPlan, LogicalQuery};
+use hsqp::engine::plan::{AggFunc, AggSpec, JoinKind, SortKey};
+use hsqp::engine::queries::StageRole;
+use hsqp::engine::session::Session;
+use hsqp::tpch::TpchTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::builder()
+        .nodes(4)
+        .transport(Transport::rdma())
+        .tpch(0.01)
+        .build()?;
+
+    // Revenue per supplier — needed twice (to find the maximum, and to
+    // find who achieved it), so it is planned and materialized once.
+    let revenue = LogicalPlan::scan(TpchTable::Lineitem).aggregate(
+        &["l_suppkey"],
+        vec![AggSpec::new(
+            AggFunc::Sum,
+            col("l_extendedprice").mul(litf(1.0).sub(col("l_discount"))),
+            "total_revenue",
+        )],
+    );
+
+    // Stage 1 computes the scalar subquery: its single-row result binds
+    // param(0) for the final stage, which keeps the supplier(s) whose
+    // revenue equals it and joins supplier names back in. Exact equality
+    // is safe because both stages read the same materialized CTE, so
+    // param(0) is bit-identical to a stored total_revenue value.
+    let max_revenue = LogicalPlan::from_cte("revenue").aggregate(
+        &[],
+        vec![AggSpec::new(AggFunc::Max, col("total_revenue"), "max_rev")],
+    );
+    let top_supplier = LogicalPlan::scan(TpchTable::Supplier)
+        .join(
+            LogicalPlan::from_cte("revenue").filter(col("total_revenue").eq(param(0))),
+            &["s_suppkey"],
+            &["l_suppkey"],
+            JoinKind::Inner,
+        )
+        .project(&["s_suppkey", "s_name", "total_revenue"])
+        .sort(vec![SortKey::asc("s_suppkey")]);
+
+    let query = LogicalQuery::cte("revenue", revenue)
+        .then(max_revenue)
+        .then(top_supplier);
+
+    // Inspect the lowered stages before running: one materialization, one
+    // parameter stage, one result stage, each a distributed plan.
+    let physical = session.physical_query(&query)?;
+    for (i, stage) in physical.stages.iter().enumerate() {
+        let role = match &stage.role {
+            StageRole::Materialize(name) => format!("materialize {name:?}"),
+            StageRole::Params => "bind scalar parameters".to_string(),
+            StageRole::Result => "result".to_string(),
+        };
+        println!("stage {}/{} — {role}:", i + 1, physical.stages.len());
+        print!("{}", stage.plan.explain());
+    }
+
+    let result = session.run(&query)?;
+    println!(
+        "\n{} top supplier(s) in {:.1} ms ({} bytes shuffled)",
+        result.row_count(),
+        result.elapsed.as_secs_f64() * 1e3,
+        result.bytes_shuffled,
+    );
+    let t = &result.table;
+    for row in 0..result.row_count() {
+        println!(
+            "  {:<4} {:<20} revenue={}",
+            t.value(row, 0),
+            t.value(row, 1),
+            t.value(row, 2),
+        );
+    }
+
+    session.shutdown();
+    Ok(())
+}

@@ -16,8 +16,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
-use hsqp::engine::planner::Planner;
-use hsqp::engine::queries::{tpch_logical, tpch_query, ALL_QUERIES, BUILDER_QUERIES};
+use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
+use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
 use hsqp::engine::QueryResult;
 use hsqp::tpch::TpchDb;
 
@@ -32,10 +32,17 @@ OPTIONS:
     --nodes <N>            Simulated servers in the cluster (default 4)
     --workers <N>          Worker threads per server (default 2)
     --queries <LIST>       Comma-separated query numbers, e.g. 1,3,6
-                           (default: all 22; builder mode: all migrated)
+                           (default: all 22)
     --plan-mode <M>        handwritten | builder (default handwritten);
-                           builder plans queries through the logical-plan
+                           builder plans queries through the logical-query
                            builder and distributed planner
+    --explain              Print each stage's lowered physical plan
+                           (exchange placement, broadcast vs repartition)
+                           without generating data or executing; builder
+                           mode plans from SF-derived cardinality
+                           estimates, so choices near a threshold can
+                           differ from a live run, which plans from
+                           exact row counts
     --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
     --engine <E>           hybrid | classic (default hybrid)
     --message-kb <N>       Tuple bytes per network message in KiB (default 32)
@@ -64,6 +71,7 @@ struct Args {
     workers: u16,
     queries: Option<Vec<u32>>,
     plan_mode: PlanMode,
+    explain: bool,
     transport: String,
     engine: String,
     message_kb: usize,
@@ -77,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queries: None,
         plan_mode: PlanMode::Handwritten,
+        explain: false,
         transport: "rdma".to_string(),
         engine: "hybrid".to_string(),
         message_kb: 32,
@@ -89,6 +98,11 @@ fn parse_args() -> Result<Args, String> {
         if flag == "-h" || flag == "--help" {
             print!("{USAGE}");
             std::process::exit(0);
+        }
+        if flag == "--explain" {
+            args.explain = true;
+            i += 1;
+            continue;
         }
         let value = argv
             .get(i + 1)
@@ -200,23 +214,74 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Print each stage's lowered physical plan without executing anything
+/// (no data generation, no cluster): exchange placement and broadcast vs
+/// repartition choices are visible directly in the operator trees.
+///
+/// In builder mode, plans are lowered from SF-derived cardinality
+/// estimates; a live run plans from the exact loaded row counts
+/// (`Planner::for_cluster`), which can flip a broadcast/repartition
+/// choice sitting near a threshold. Handwritten plans are fixed trees.
+fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
+    // Handwritten plans are fixed physical trees; only builder mode
+    // involves the planner, whose choices here come from estimates.
+    let planner = match args.plan_mode {
+        PlanMode::Handwritten => None,
+        PlanMode::Builder => {
+            eprintln!(
+                "note: --explain plans from SF-derived cardinality estimates; \
+                 a live run plans from exact loaded row counts, which can \
+                 flip choices near a threshold"
+            );
+            Some(Planner::new(PlannerConfig {
+                stats: TableStats::for_scale_factor(args.sf),
+                ..PlannerConfig::new(args.nodes)
+            }))
+        }
+    };
+    for &n in queries {
+        let query: Query = match &planner {
+            None => tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+            Some(planner) => {
+                let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
+                planner
+                    .plan_query(&logical)
+                    .map_err(|e| format!("query {n}: {e}"))?
+            }
+        };
+        println!(
+            "== Q{n} ({} plans, {} nodes, SF {}) ==",
+            args.plan_mode.name(),
+            args.nodes,
+            args.sf
+        );
+        let total = query.stages.len();
+        for (i, stage) in query.stages.iter().enumerate() {
+            let role = match &stage.role {
+                StageRole::Params => " scalar parameters".to_string(),
+                StageRole::Materialize(name) => format!(" materialize {name:?}"),
+                StageRole::Result => " result".to_string(),
+            };
+            println!("-- stage {}/{total}:{role}", i + 1);
+            print!("{}", stage.plan.explain());
+        }
+        println!();
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let cfg = cluster_config(&args)?;
 
-    // Resolve the query list: builder mode defaults to (and only accepts)
-    // the queries migrated to the logical builder.
-    let queries: Vec<u32> = match (&args.queries, args.plan_mode) {
-        (Some(list), PlanMode::Handwritten) => list.clone(),
-        (None, PlanMode::Handwritten) => ALL_QUERIES.to_vec(),
-        (Some(list), PlanMode::Builder) => {
-            for &n in list {
-                tpch_logical(n).map_err(|e| e.to_string())?;
-            }
-            list.clone()
-        }
-        (None, PlanMode::Builder) => BUILDER_QUERIES.to_vec(),
+    let queries: Vec<u32> = match &args.queries {
+        Some(list) => list.clone(),
+        None => ALL_QUERIES.to_vec(),
     };
+
+    if args.explain {
+        return explain(&args, &queries);
+    }
 
     eprintln!(
         "generating TPC-H SF {} and starting {}-node cluster ({} transport, {} engine, {} plans)",
@@ -251,8 +316,8 @@ fn run() -> Result<(), String> {
             PlanMode::Builder => {
                 let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
                 planner
-                    .plan(&logical)
-                    .and_then(|plan| cluster.run_plan(&plan))
+                    .plan_query(&logical)
+                    .and_then(|query| cluster.run(&query))
             }
         };
         match result {

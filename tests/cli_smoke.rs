@@ -248,9 +248,9 @@ fn driver_rejects_bad_flags() {
         &["--queries", ""][..],
         &["--message-kb", "0"][..],
         &["--plan-mode", "telepathy"][..],
-        // Q9 exists but is not migrated to the builder yet: a clean usage
-        // error, not a panic deep in the engine.
-        &["--plan-mode", "builder", "--queries", "9"][..],
+        // Out-of-range query numbers must be usage errors in builder mode
+        // too, not a panic deep in the engine.
+        &["--plan-mode", "builder", "--queries", "23"][..],
         &["--transport", "carrier-pigeon"][..],
         &["--frobnicate", "yes"][..],
     ] {
@@ -277,7 +277,7 @@ fn driver_builder_mode_matches_handwritten_row_counts() {
                 "--nodes",
                 "2",
                 "--queries",
-                "1,6,12",
+                "1,2,6,12,15",
                 "--plan-mode",
                 mode,
             ])

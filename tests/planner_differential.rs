@@ -1,17 +1,18 @@
-//! Differential tests for the distributed planner: every TPC-H query
-//! migrated to the logical builder must produce results identical to its
-//! hand-written physical plan (the oracle), on 2- and 4-node clusters —
-//! plus a property test that random filter/aggregate logical plans over
-//! `lineitem` lower through the planner without panicking.
+//! Differential tests for the distributed planner: all 22 TPC-H queries on
+//! the logical query builder must produce results identical to their
+//! hand-written physical plans (the oracle), on 2- and 4-node clusters —
+//! plus property tests that random filter/aggregate logical plans and
+//! random multi-stage `LogicalQuery`s (random parameter arity, CTE reuse)
+//! lower through the planner without panicking.
 
 use proptest::prelude::*;
 
 use hsqp::engine::cluster::{Cluster, ClusterConfig};
-use hsqp::engine::expr::{col, lit, litf, Expr};
-use hsqp::engine::logical::LogicalPlan;
+use hsqp::engine::expr::{col, lit, litf, param, Expr};
+use hsqp::engine::logical::{LogicalPlan, LogicalQuery};
 use hsqp::engine::plan::{AggFunc, AggSpec, SortKey};
 use hsqp::engine::planner::{Planner, PlannerConfig};
-use hsqp::engine::queries::{tpch_logical, tpch_query, BUILDER_QUERIES};
+use hsqp::engine::queries::{tpch_logical, tpch_query, ALL_QUERIES};
 use hsqp::storage::{date_from_ymd, Table, Value};
 use hsqp::tpch::{TpchDb, TpchTable};
 
@@ -43,19 +44,25 @@ fn builder_matches_handwritten_on(nodes: u16) {
     let cluster = Cluster::start(ClusterConfig::quick(nodes)).unwrap();
     cluster.load_tpch_db(TpchDb::generate(SF)).unwrap();
     let planner = Planner::for_cluster(&cluster);
-    for n in BUILDER_QUERIES {
+    for n in ALL_QUERIES {
         let oracle = cluster
             .run(&tpch_query(n).unwrap())
             .unwrap_or_else(|e| panic!("handwritten Q{n} failed: {e}"))
             .table;
         let logical = tpch_logical(n).unwrap();
-        let plan = planner
-            .plan(&logical)
+        let query = planner
+            .plan_query(&logical)
             .unwrap_or_else(|e| panic!("planning Q{n} failed: {e}"));
         let built = cluster
-            .run_plan(&plan)
+            .run(&query)
             .unwrap_or_else(|e| panic!("builder Q{n} failed: {e}"))
             .table;
+        // Guard against vacuous agreement: at SF 0.01 every query except
+        // Q9 returns rows, so "both modes identically empty" is a bug in
+        // shared machinery (e.g. a join-key type mismatch), not a match.
+        if n != 9 {
+            assert!(oracle.rows() > 0, "Q{n} oracle returned no rows at SF {SF}");
+        }
         assert_tables_equal(&oracle, &built, &format!("Q{n} ({nodes} nodes)"));
     }
     cluster.shutdown();
@@ -182,6 +189,210 @@ proptest! {
         // is a gather, a sort above one, or a coordinator-only aggregate.
         prop_assert!(plan.unwrap().exchange_count() >= 1);
     }
+}
+
+// --- property test: random multi-stage LogicalQuerys lower cleanly -------
+
+proptest! {
+    #[test]
+    fn random_multi_stage_queries_lower_without_panicking(
+        n_params in 1usize..4,
+        param_ref in 0usize..3,
+        cte_uses in 0usize..3,
+        nodes in 1u16..6,
+    ) {
+        let param_ref = param_ref.min(n_params - 1);
+        // Scalar stage: n_params global aggregates over lineitem.
+        let aggs: Vec<AggSpec> = (0..n_params)
+            .map(|i| AggSpec::new(AggFunc::Min, col(NUM_COLS[i % NUM_COLS.len()]), &format!("p{i}")))
+            .collect();
+        let scalar = LogicalPlan::scan(TpchTable::Lineitem).aggregate(&[], aggs);
+        // Final stage: filter against a random bound parameter, plus
+        // `cte_uses` semi joins against the shared supplier CTE.
+        let mut fin = LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_quantity").ge(param(param_ref)));
+        for _ in 0..cte_uses {
+            fin = fin.join(
+                LogicalPlan::from_cte("suppliers"),
+                &["l_suppkey"],
+                &["s_suppkey"],
+                hsqp::engine::plan::JoinKind::LeftSemi,
+            );
+        }
+        let fin = fin.aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]);
+        let query = LogicalQuery::cte(
+            "suppliers",
+            LogicalPlan::scan(TpchTable::Supplier).project(&["s_suppkey"]),
+        )
+        .then(scalar)
+        .then(fin);
+
+        let planner = Planner::new(PlannerConfig::new(nodes));
+        let physical = planner.plan_query(&query);
+        prop_assert!(physical.is_ok(), "valid multi-stage query rejected: {:?}", physical.err());
+        let physical = physical.unwrap();
+        // One materialize stage, one parameter stage, one result stage.
+        prop_assert_eq!(physical.stages.len(), 3);
+    }
+}
+
+/// Invalid multi-stage queries are rejected with planner errors, never
+/// panics: unbound parameters, unknown CTEs, CTEs referencing parameters,
+/// duplicate CTE names, and stage-less queries.
+#[test]
+fn invalid_multi_stage_queries_are_rejected() {
+    use hsqp::engine::error::EngineError;
+    let planner = Planner::new(PlannerConfig::new(2));
+    let count =
+        |p: LogicalPlan| p.aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]);
+
+    // Parameter 0 is never bound (single-stage query).
+    let unbound = LogicalQuery::stage(count(
+        LogicalPlan::scan(TpchTable::Lineitem).filter(col("l_quantity").ge(param(0))),
+    ));
+    assert!(matches!(
+        planner.plan_query(&unbound),
+        Err(EngineError::Planner(_))
+    ));
+
+    // Unknown CTE name.
+    let unknown = LogicalQuery::stage(count(LogicalPlan::from_cte("nope")));
+    assert!(matches!(
+        planner.plan_query(&unknown),
+        Err(EngineError::Planner(_))
+    ));
+
+    // CTEs may not reference stage parameters.
+    let cte_param = LogicalQuery::cte(
+        "v",
+        LogicalPlan::scan(TpchTable::Lineitem).filter(col("l_quantity").ge(param(0))),
+    )
+    .then(count(LogicalPlan::from_cte("v")));
+    assert!(matches!(
+        planner.plan_query(&cte_param),
+        Err(EngineError::Planner(_))
+    ));
+
+    // Duplicate CTE names.
+    let dup = LogicalQuery::cte("v", LogicalPlan::scan(TpchTable::Nation))
+        .with("v", LogicalPlan::scan(TpchTable::Region))
+        .then(count(LogicalPlan::from_cte("v")));
+    assert!(matches!(
+        planner.plan_query(&dup),
+        Err(EngineError::Planner(_))
+    ));
+
+    // A query with CTEs but no stages has no result.
+    let no_stage = LogicalQuery::cte("v", LogicalPlan::scan(TpchTable::Nation));
+    assert!(matches!(
+        planner.plan_query(&no_stage),
+        Err(EngineError::Planner(_))
+    ));
+}
+
+/// A hand-built physical plan reading a temp relation no stage
+/// materialized, or referencing a parameter no earlier stage bound, must
+/// be rejected by the cluster up front — not panic in a node thread
+/// mid-execution.
+#[test]
+fn dangling_temp_scan_and_unbound_param_are_errors_not_panics() {
+    use hsqp::engine::error::EngineError;
+    use hsqp::engine::plan::Plan;
+    let cluster = Cluster::start(ClusterConfig::quick(1)).unwrap();
+    cluster.load_tpch_db(TpchDb::generate(0.001)).unwrap();
+    let r = cluster.run_plan(&Plan::temp_scan("nope").gather());
+    assert!(matches!(r, Err(EngineError::Planner(_))), "got {r:?}");
+    let unbound = Plan::scan(TpchTable::Lineitem)
+        .filter(col("l_quantity").gt(param(0)))
+        .gather();
+    let r = cluster.run_plan(&unbound);
+    assert!(matches!(r, Err(EngineError::Planner(_))), "got {r:?}");
+    cluster.shutdown();
+}
+
+/// A hand-rolled multi-stage query executed for real: the scalar stage
+/// binds the average quantity, the CTE is scanned twice, and the result
+/// must match the equivalent single-stage computation.
+#[test]
+fn multi_stage_query_executes_end_to_end() {
+    let cluster = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    cluster.load_tpch_db(TpchDb::generate(0.002)).unwrap();
+    let planner = Planner::for_cluster(&cluster);
+
+    // Average lineitem quantity, computed inline as the oracle.
+    let avg = {
+        let plan = LogicalPlan::scan(TpchTable::Lineitem).aggregate(
+            &[],
+            vec![AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty")],
+        );
+        let r = cluster
+            .run(&planner.plan_query(&(&plan).into()).unwrap())
+            .unwrap();
+        r.table.value(0, 0).as_f64()
+    };
+    let oracle = {
+        let plan = LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_quantity").lt(litf(avg)))
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]);
+        let r = cluster
+            .run(&planner.plan_query(&(&plan).into()).unwrap())
+            .unwrap();
+        r.table.value(0, 0).as_i64()
+    };
+
+    // The same computation as a two-stage query with a shared CTE scanned
+    // by both stages.
+    let staged = LogicalQuery::cte(
+        "items",
+        LogicalPlan::scan(TpchTable::Lineitem).project(&["l_quantity"]),
+    )
+    .then(LogicalPlan::from_cte("items").aggregate(
+        &[],
+        vec![AggSpec::new(AggFunc::Avg, col("l_quantity"), "avg_qty")],
+    ))
+    .then(
+        LogicalPlan::from_cte("items")
+            .filter(col("l_quantity").lt(param(0)))
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]),
+    );
+    let physical = planner.plan_query(&staged).unwrap();
+    assert_eq!(physical.stages.len(), 3);
+    let r = cluster.run(&physical).unwrap();
+    assert_eq!(r.table.value(0, 0).as_i64(), oracle);
+    cluster.shutdown();
+}
+
+/// A parameter stage whose output column is Decimal (fixed-point i64 in
+/// storage) must bind as the promoted float — the representation every
+/// downstream expression reads — not as raw cents.
+#[test]
+fn decimal_param_stage_binds_promoted_floats() {
+    let cluster = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    cluster.load_tpch_db(TpchDb::generate(0.002)).unwrap();
+    let planner = Planner::for_cluster(&cluster);
+
+    // Stage 1: the single largest l_extendedprice, passed through as a raw
+    // Decimal column (no aggregate, so no float promotion on the way out).
+    // Stage 2: count rows at or above it — exactly the maximal row(s).
+    // Were the parameter bound as cents, the count would be zero.
+    let staged = LogicalQuery::stage(
+        LogicalPlan::scan(TpchTable::Lineitem)
+            .project(&["l_extendedprice"])
+            .top_k(vec![SortKey::desc("l_extendedprice")], 1),
+    )
+    .then(
+        LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_extendedprice").ge(param(0)))
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]),
+    );
+    let physical = planner.plan_query(&staged).unwrap();
+    let r = cluster.run(&physical).unwrap();
+    let cnt = r.table.value(0, 0).as_i64();
+    assert!(
+        (1..100).contains(&cnt),
+        "expected only the maximal row(s) to pass the bound, got {cnt}"
+    );
+    cluster.shutdown();
 }
 
 /// A couple of the random shapes, executed for real on a small cluster —
