@@ -1,31 +1,41 @@
-//! The SPMD cluster driver.
+//! The SPMD cluster driver and its concurrent-query dispatcher.
 //!
 //! A [`Cluster`] simulates `n` database servers in one process: each node
 //! owns a worker pool, a NUMA topology, a message pool, and a communication
 //! multiplexer thread attached to the shared network fabric. Queries run
 //! SPMD — every node executes the same plan, exchanges redistribute tuples,
 //! and the final result is gathered at node 0 (the coordinator).
+//!
+//! Queries are *admitted* rather than executed inline:
+//! [`Cluster::submit`] assigns a [`QueryId`], tags every wire message with
+//! it, and hands the query to a dispatcher pool that runs up to
+//! [`ClusterConfig::max_concurrent`] queries' stages concurrently over the
+//! shared multiplexers — the [`NetScheduler`] arbitrates the fabric among
+//! them, which is exactly the contended regime the paper's global network
+//! scheduling is designed for. The returned [`QueryHandle`] exposes
+//! `wait`, `try_result`, `cancel`, and live per-query fabric statistics;
+//! [`Cluster::run`] remains as `submit(..)` + `wait()` sugar.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Sender;
-use parking_lot::RwLock;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use hsqp_net::{
-    CompletionMode, Fabric, FabricConfig, LinkSpec, NetScheduler, NodeId, RdmaConfig, RdmaNetwork,
-    TcpConfig, TcpNetwork,
+    CompletionMode, Fabric, FabricConfig, LinkSpec, NetScheduler, NodeId, QueryId, QueryNetStats,
+    QueryStatsRegistry, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
 };
 use hsqp_numa::{AllocPolicy, CostModel, Topology};
 use hsqp_storage::placement::{chunk_split, hash_partition, Placement};
-use hsqp_storage::{DataType, Table, Value};
+use hsqp_storage::{decimal_to_f64, DataType, Table, Value};
 use hsqp_tpch::{TpchDb, TpchTable};
 
 use crate::error::EngineError;
 use crate::exchange::{spawn_multiplexer, Endpoint, MessagePool, MuxCmd, MuxConfig, RecvHub};
-use crate::exec::{NodeCtx, NodeExec};
+use crate::exec::{Batch, NodeCtx, NodeExec};
 use crate::expr::Expr;
 use crate::local::MorselDriver;
 use crate::plan::Plan;
@@ -120,6 +130,10 @@ pub struct ClusterConfig {
     pub placement: Placement,
     /// Switch-contention modeling on/off.
     pub switch_contention: bool,
+    /// Queries the dispatcher runs concurrently; further submissions queue
+    /// (admission control). Each in-flight query's stages run SPMD over
+    /// the shared multiplexers.
+    pub max_concurrent: u16,
 }
 
 impl ClusterConfig {
@@ -139,6 +153,7 @@ impl ClusterConfig {
             message_capacity: 512 * 1024,
             placement: Placement::Chunked,
             switch_contention: true,
+            max_concurrent: 4,
         }
     }
 
@@ -183,6 +198,11 @@ impl ClusterConfig {
         if self.message_capacity < 1024 {
             return Err(EngineError::Config("message capacity below 1 KiB".into()));
         }
+        if self.max_concurrent == 0 {
+            return Err(EngineError::Config(
+                "need at least one concurrent query slot".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -190,13 +210,17 @@ impl ClusterConfig {
 /// Result of one query execution.
 #[derive(Debug)]
 pub struct QueryResult {
+    /// Id the query ran under.
+    pub query: QueryId,
     /// The gathered result table (node 0's output).
     pub table: Table,
-    /// Wall-clock execution time.
+    /// Wall-clock execution time (includes time spent queued for a
+    /// dispatcher slot).
     pub elapsed: Duration,
-    /// Bytes shipped over the fabric during this query.
+    /// Bytes this query shipped over the fabric (per-query accounting —
+    /// concurrent queries do not pollute each other's numbers).
     pub bytes_shuffled: u64,
-    /// Network messages sent during this query.
+    /// Network messages this query sent.
     pub messages_sent: u64,
 }
 
@@ -207,20 +231,127 @@ impl QueryResult {
     }
 }
 
+enum HandleState {
+    Pending,
+    /// Completed; `None` once the result has been taken.
+    Done(Option<Result<QueryResult, EngineError>>),
+}
+
+/// State shared between a [`QueryHandle`] and the dispatcher.
+struct QueryShared {
+    id: QueryId,
+    cancelled: AtomicBool,
+    stats: Arc<QueryNetStats>,
+    state: Mutex<HandleState>,
+    done: Condvar,
+}
+
+impl QueryShared {
+    fn complete(&self, result: Result<QueryResult, EngineError>) {
+        *self.state.lock() = HandleState::Done(Some(result));
+        self.done.notify_all();
+    }
+}
+
+/// Handle to a submitted query.
+///
+/// Returned by [`Cluster::submit`] (and
+/// [`Session::submit`](crate::session::Session::submit)). The query runs
+/// asynchronously on the cluster's dispatcher; the handle observes and
+/// controls it.
+pub struct QueryHandle {
+    shared: Arc<QueryShared>,
+}
+
+impl QueryHandle {
+    /// The id the cluster assigned to this query (tags all its wire
+    /// messages and temp relations).
+    pub fn id(&self) -> QueryId {
+        self.shared.id
+    }
+
+    /// Block until the query completes and take its result.
+    ///
+    /// Returns [`EngineError::Cancelled`] if [`cancel`](Self::cancel) took
+    /// effect first, and an execution error if the result was already
+    /// taken through [`try_result`](Self::try_result).
+    pub fn wait(self) -> Result<QueryResult, EngineError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            match &mut *state {
+                HandleState::Pending => self.shared.done.wait(&mut state),
+                HandleState::Done(result) => {
+                    return result.take().unwrap_or_else(|| {
+                        Err(EngineError::Execution("query result already taken".into()))
+                    });
+                }
+            }
+        }
+    }
+
+    /// Take the result if the query has completed; `None` while it is
+    /// still queued or running. A completed result can be taken once.
+    pub fn try_result(&self) -> Option<Result<QueryResult, EngineError>> {
+        match &mut *self.shared.state.lock() {
+            HandleState::Pending => None,
+            HandleState::Done(result) => result.take(),
+        }
+    }
+
+    /// Whether the query has completed (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        matches!(&*self.shared.state.lock(), HandleState::Done(_))
+    }
+
+    /// Request cancellation. Cooperative: a queued query never starts, a
+    /// running one stops at its next stage boundary; either way its temp
+    /// relations, receive-hub slots, and stats registration are released
+    /// and [`wait`](Self::wait) returns [`EngineError::Cancelled`]. A
+    /// query already past its last stage boundary completes normally.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Live per-query fabric statistics (bytes/messages this query has put
+    /// on the wire so far). Remains readable after completion.
+    pub fn net_stats(&self) -> &QueryNetStats {
+        &self.shared.stats
+    }
+}
+
+/// One admitted query waiting for (or holding) a dispatcher slot.
+struct Submission {
+    stages: Vec<QueryStage>,
+    submitted: Instant,
+    shared: Arc<QueryShared>,
+}
+
 /// A simulated database cluster.
+///
+/// Execution state lives in an inner `Arc` shared with the dispatcher
+/// threads; the `Cluster` value itself owns the thread handles and tears
+/// everything down on [`shutdown`](Self::shutdown) or drop.
 pub struct Cluster {
+    inner: Arc<ClusterInner>,
+    submit_tx: Option<Sender<Submission>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    mux_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct ClusterInner {
     cfg: ClusterConfig,
     fabric: Arc<Fabric>,
     nodes: Vec<Arc<NodeCtx>>,
     mux_senders: Vec<Sender<MuxCmd>>,
-    mux_handles: Vec<std::thread::JoinHandle<()>>,
-    run_seq: AtomicU32,
+    query_stats: Arc<QueryStatsRegistry>,
+    next_query: AtomicU32,
     down: AtomicBool,
 }
 
 impl Cluster {
-    /// Start a cluster: build the fabric, endpoints, message pools, and
-    /// spawn one multiplexer thread per node.
+    /// Start a cluster: build the fabric, endpoints, message pools, spawn
+    /// one multiplexer thread per node and the dispatcher pool
+    /// (`max_concurrent` workers).
     pub fn start(cfg: ClusterConfig) -> Result<Self, EngineError> {
         cfg.validate()?;
         let n = cfg.nodes;
@@ -230,6 +361,7 @@ impl Cluster {
             ..FabricConfig::default()
         };
         let fabric = Arc::new(Fabric::new(n, fabric_cfg));
+        let query_stats = Arc::new(QueryStatsRegistry::new());
 
         let (scheduling, rdma_net, tcp_net) = match &cfg.transport {
             Transport::Rdma {
@@ -301,6 +433,7 @@ impl Cluster {
                 Arc::clone(&hub),
                 Arc::clone(&pool),
                 scheduler.clone(),
+                Arc::clone(&query_stats),
             );
             let driver = MorselDriver::new(
                 cfg.workers_per_node,
@@ -320,6 +453,7 @@ impl Cluster {
                 hub,
                 to_mux: tx.clone(),
                 tables: RwLock::new(HashMap::new()),
+                temps: RwLock::new(HashMap::new()),
                 consume_loads: parking_lot::Mutex::new(Vec::new()),
                 fabric: Arc::clone(&fabric),
             }));
@@ -327,30 +461,55 @@ impl Cluster {
             mux_handles.push(handle);
         }
 
-        Ok(Self {
+        let inner = Arc::new(ClusterInner {
             cfg,
             fabric,
             nodes,
             mux_senders,
-            mux_handles,
-            run_seq: AtomicU32::new(0),
+            query_stats,
+            next_query: AtomicU32::new(0),
             down: AtomicBool::new(false),
+        });
+
+        // Admission/dispatch pool: up to `max_concurrent` queries run their
+        // stages at once; the rest wait in the submission queue.
+        let (submit_tx, submit_rx): (Sender<Submission>, Receiver<Submission>) = unbounded();
+        let dispatchers = (0..inner.cfg.max_concurrent)
+            .map(|d| {
+                let inner = Arc::clone(&inner);
+                let rx = submit_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dispatch-{d}"))
+                    .spawn(move || {
+                        while let Ok(sub) = rx.recv() {
+                            inner.execute_submission(sub);
+                        }
+                    })
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+
+        Ok(Self {
+            inner,
+            submit_tx: Some(submit_tx),
+            dispatchers,
+            mux_handles,
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
-        &self.cfg
+        &self.inner.cfg
     }
 
     /// The network fabric (statistics).
     pub fn fabric(&self) -> &Arc<Fabric> {
-        &self.fabric
+        &self.inner.fabric
     }
 
     /// Per-node execution contexts (benchmark instrumentation).
     pub fn node_ctx(&self, node: u16) -> &Arc<NodeCtx> {
-        &self.nodes[node as usize]
+        &self.inner.nodes[node as usize]
     }
 
     /// Generate TPC-H at `sf` and distribute it per the configured
@@ -362,9 +521,9 @@ impl Cluster {
     /// Distribute an already-generated TPC-H database.
     pub fn load_tpch_db(&self, db: TpchDb) -> Result<(), EngineError> {
         self.ensure_up()?;
-        let n = self.cfg.nodes as usize;
+        let n = self.inner.cfg.nodes as usize;
         for (kind, table) in db.into_tables() {
-            let parts: Vec<Table> = match self.cfg.placement {
+            let parts: Vec<Table> = match self.inner.cfg.placement {
                 Placement::Chunked => chunk_split(&table, n),
                 // Plans are placement-oblivious: a broadcast of a replicated
                 // relation would duplicate rows, so replication is rejected
@@ -374,7 +533,7 @@ impl Cluster {
                     hash_partition(&table, 0, n)
                 }
             };
-            for (node, part) in self.nodes.iter().zip(parts) {
+            for (node, part) in self.inner.nodes.iter().zip(parts) {
                 node.tables.write().insert(kind, Arc::new(part));
             }
         }
@@ -384,14 +543,14 @@ impl Cluster {
     /// Load an arbitrary relation with explicit per-node parts.
     pub fn load_table(&self, kind: TpchTable, parts: Vec<Table>) -> Result<(), EngineError> {
         self.ensure_up()?;
-        if parts.len() != self.nodes.len() {
+        if parts.len() != self.inner.nodes.len() {
             return Err(EngineError::Config(format!(
                 "expected {} parts, got {}",
-                self.nodes.len(),
+                self.inner.nodes.len(),
                 parts.len()
             )));
         }
-        for (node, part) in self.nodes.iter().zip(parts) {
+        for (node, part) in self.inner.nodes.iter().zip(parts) {
             node.tables.write().insert(kind, Arc::new(part));
         }
         Ok(())
@@ -402,7 +561,7 @@ impl Cluster {
     pub fn table_rows(&self, table: TpchTable) -> Option<u64> {
         let mut total = 0u64;
         let mut loaded = false;
-        for node in &self.nodes {
+        for node in &self.inner.nodes {
             if let Some(t) = node.tables.read().get(&table) {
                 total += t.rows() as u64;
                 loaded = true;
@@ -411,49 +570,166 @@ impl Cluster {
         loaded.then_some(total)
     }
 
-    /// Run a single plan SPMD and return the coordinator's result.
-    pub fn run_plan(&self, plan: &Plan) -> Result<QueryResult, EngineError> {
-        self.run_stages(std::slice::from_ref(&QueryStage {
-            plan: plan.clone(),
-            role: StageRole::Result,
-        }))
-    }
-
-    /// Run a multi-stage query: parameter stages bind their first result
-    /// row as `Expr::Param` values for later stages, materialization stages
-    /// register per-node temp relations for `Plan::TempScan`, and the final
-    /// stage produces the result.
-    pub fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
-        self.run_stages(&query.stages)
-    }
-
-    fn run_stages(&self, stages: &[QueryStage]) -> Result<QueryResult, EngineError> {
+    /// Submit a query for asynchronous execution, returning immediately
+    /// with a [`QueryHandle`]. At most
+    /// [`max_concurrent`](ClusterConfig::max_concurrent) queries run at
+    /// once; the rest wait their turn in submission order.
+    pub fn submit(&self, query: &Query) -> Result<QueryHandle, EngineError> {
         self.ensure_up()?;
-        if stages.is_empty() {
+        if query.stages.is_empty() {
             return Err(EngineError::Planner(
                 "query needs at least one stage".into(),
             ));
         }
-        let bytes_before = self.fabric.total_bytes_sent();
-        let msgs_before: u64 = (0..self.cfg.nodes)
-            .map(|i| self.fabric.stats(NodeId(i)).messages_sent())
-            .sum();
-        let started = Instant::now();
+        let id = QueryId(self.inner.next_query.fetch_add(1, Ordering::Relaxed));
+        let shared = Arc::new(QueryShared {
+            id,
+            cancelled: AtomicBool::new(false),
+            stats: self.inner.query_stats.register(id),
+            state: Mutex::new(HandleState::Pending),
+            done: Condvar::new(),
+        });
+        let submission = Submission {
+            stages: query.stages.clone(),
+            submitted: Instant::now(),
+            shared: Arc::clone(&shared),
+        };
+        self.submit_tx
+            .as_ref()
+            .and_then(|tx| tx.send(submission).ok())
+            .ok_or(EngineError::ClusterDown)?;
+        Ok(QueryHandle { shared })
+    }
 
+    /// Run a single plan SPMD and return the coordinator's result
+    /// (blocking sugar over [`submit`](Self::submit)).
+    pub fn run_plan(&self, plan: &Plan) -> Result<QueryResult, EngineError> {
+        self.run(&Query::single(0, plan.clone()))
+    }
+
+    /// Run a multi-stage query to completion: parameter stages bind their
+    /// first result row as `Expr::Param` values for later stages,
+    /// materialization stages register per-node temp relations for
+    /// `Plan::TempScan`, and the final stage produces the result. Sugar
+    /// for [`submit`](Self::submit) followed by [`QueryHandle::wait`].
+    pub fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Number of queries whose temp namespaces are still registered on
+    /// node 0 (leak check: zero once no query is in flight).
+    pub fn active_temp_namespaces(&self) -> usize {
+        self.inner.nodes[0].temps.read().len()
+    }
+
+    fn ensure_up(&self) -> Result<(), EngineError> {
+        if self.inner.down.load(Ordering::SeqCst) {
+            return Err(EngineError::ClusterDown);
+        }
+        Ok(())
+    }
+
+    /// Stop the dispatcher pool and all multiplexer threads, then tear the
+    /// cluster down. In-flight queries complete; queued ones fail with
+    /// [`EngineError::ClusterDown`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.inner.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close the submission queue: dispatchers drain it (failing queued
+        // submissions fast, since `down` is set) and exit.
+        self.submit_tx.take();
+        for h in self.dispatchers.drain(..) {
+            let _ = h.join();
+        }
+        // Only then stop the multiplexers the dispatchers depended on.
+        for tx in &self.inner.mux_senders {
+            let _ = tx.send(MuxCmd::Shutdown);
+        }
+        for h in self.mux_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl ClusterInner {
+    /// Run one admitted query to completion on this dispatcher thread and
+    /// publish its result. Whatever happens — success, error,
+    /// cancellation — the query's temp namespaces, receive-hub slots, and
+    /// stats registration are released afterwards, so a cancelled query
+    /// can never wedge the multiplexers or leak state.
+    fn execute_submission(&self, sub: Submission) {
+        let result = if self.down.load(Ordering::SeqCst) {
+            Err(EngineError::ClusterDown)
+        } else {
+            // A panic in a node thread (e.g. a hand-written plan naming a
+            // nonexistent column) unwinds through the SPMD scope into this
+            // dispatcher thread. Contain it so the submitter gets an error
+            // (not a forever-blocked `wait()`) and the dispatcher slot
+            // survives for later queries. Caveat: this covers SPMD-symmetric
+            // panics (every node fails the same way — the usual case, since
+            // all nodes run the same plan over same-schema parts). A panic
+            // on only *some* nodes mid-exchange can still leave peers
+            // blocked waiting for last-markers that never come, which only
+            // a cross-node abort protocol would fix (see ROADMAP).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_stages(&sub)))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(EngineError::Execution(format!(
+                        "query execution panicked: {msg}"
+                    )))
+                })
+        };
+        for node in &self.nodes {
+            node.temps.write().remove(&sub.shared.id);
+            node.hub.finish_query(sub.shared.id);
+        }
+        self.query_stats.retire(sub.shared.id);
+        sub.shared.complete(result);
+    }
+
+    fn run_stages(&self, sub: &Submission) -> Result<QueryResult, EngineError> {
+        let query = sub.shared.id;
+        let cancelled = &sub.shared.cancelled;
         let mut params: Vec<Value> = Vec::new();
-        let mut temps: Vec<HashMap<String, Arc<Table>>> = vec![HashMap::new(); self.nodes.len()];
         let mut final_table: Option<Table> = None;
-        for stage in stages {
+        for (stage_idx, stage) in sub.stages.iter().enumerate() {
+            // Cooperative cancellation point: between stages (and before
+            // the first), where no exchange is in flight.
+            if cancelled.load(Ordering::SeqCst) {
+                return Err(EngineError::Cancelled);
+            }
             // Reject dangling temp references and unbound parameters before
             // the plan reaches the node threads: a panic there would unwind
             // through the SPMD scope and crash the caller instead of
             // returning an error.
             let mut referenced = Vec::new();
             collect_temp_scans(&stage.plan, &mut referenced);
-            if let Some(name) = referenced.iter().find(|n| !temps[0].contains_key(**n)) {
-                return Err(EngineError::Planner(format!(
-                    "temp relation {name:?} is not materialized by an earlier stage"
-                )));
+            {
+                let temps = self.nodes[0].temps.read();
+                let ns = temps.get(&query);
+                if let Some(name) = referenced
+                    .iter()
+                    .find(|n| !ns.is_some_and(|m| m.contains_key(**n)))
+                {
+                    return Err(EngineError::Planner(format!(
+                        "temp relation {name:?} is not materialized by an earlier stage"
+                    )));
+                }
             }
             if let Some(m) = plan_max_param(&stage.plan) {
                 if m >= params.len() {
@@ -464,11 +740,20 @@ impl Cluster {
                     )));
                 }
             }
-            let base = self.run_seq.fetch_add(1, Ordering::Relaxed) * 100_000;
-            let results = self.execute_spmd(&stage.plan, &params, &temps, base);
+            // Exchange ids are per-query: each stage gets its own disjoint
+            // range, and the query id in the wire header isolates them
+            // from every other in-flight query.
+            let base = (stage_idx as u32) * 100_000;
+            let results = self.execute_spmd(query, &stage.plan, &params, base);
             match &stage.role {
                 StageRole::Result => {
-                    final_table = Some(results.into_iter().next().expect("node 0 result"));
+                    final_table = Some(
+                        results
+                            .into_iter()
+                            .next()
+                            .expect("node 0 result")
+                            .into_table(),
+                    );
                 }
                 StageRole::Params => {
                     // Bind row 0 of the stage result as parameters, in
@@ -491,7 +776,7 @@ impl Cluster {
                             coordinator.value(0, c),
                         ) {
                             (DataType::Decimal, Value::I64(cents)) => {
-                                Value::F64(cents as f64 / 100.0)
+                                Value::F64(decimal_to_f64(cents))
                             }
                             (_, v) => v,
                         };
@@ -499,42 +784,34 @@ impl Cluster {
                     }
                 }
                 StageRole::Materialize(name) => {
-                    for (node_temps, part) in temps.iter_mut().zip(results) {
-                        node_temps.insert(name.clone(), Arc::new(part));
+                    for (node, part) in self.nodes.iter().zip(results) {
+                        node.temps
+                            .write()
+                            .entry(query)
+                            .or_default()
+                            .insert(name.clone(), part.into_arc());
                     }
                 }
             }
         }
 
-        let elapsed = started.elapsed();
-        let msgs_after: u64 = (0..self.cfg.nodes)
-            .map(|i| self.fabric.stats(NodeId(i)).messages_sent())
-            .sum();
         Ok(QueryResult {
+            query,
             table: final_table
                 .ok_or_else(|| EngineError::Planner("query has no result stage".into()))?,
-            elapsed,
-            bytes_shuffled: self.fabric.total_bytes_sent() - bytes_before,
-            messages_sent: msgs_after - msgs_before,
+            elapsed: sub.submitted.elapsed(),
+            bytes_shuffled: sub.shared.stats.bytes_sent(),
+            messages_sent: sub.shared.stats.messages_sent(),
         })
     }
 
-    fn execute_spmd(
-        &self,
-        plan: &Plan,
-        params: &[Value],
-        temps: &[HashMap<String, Arc<Table>>],
-        base: u32,
-    ) -> Vec<Table> {
+    fn execute_spmd(&self, query: QueryId, plan: &Plan, params: &[Value], base: u32) -> Vec<Batch> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
-                .zip(temps)
-                .map(|(ctx, node_temps)| {
-                    scope.spawn(move || {
-                        NodeExec::with_temps(ctx, params, node_temps, base).execute(plan)
-                    })
+                .map(|ctx| {
+                    scope.spawn(move || NodeExec::new(ctx, query, params, base).execute(plan))
                 })
                 .collect();
             handles
@@ -543,41 +820,11 @@ impl Cluster {
                 .collect()
         })
     }
-
-    fn ensure_up(&self) -> Result<(), EngineError> {
-        if self.down.load(Ordering::SeqCst) {
-            return Err(EngineError::ClusterDown);
-        }
-        Ok(())
-    }
-
-    /// Stop all multiplexer threads and tear the cluster down.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        if self.down.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        for tx in &self.mux_senders {
-            let _ = tx.send(MuxCmd::Shutdown);
-        }
-        for h in self.mux_handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for Cluster {
-    fn drop(&mut self) {
-        self.shutdown_inner();
-    }
 }
 
 /// Collect every temp-relation name a plan reads through `Plan::TempScan`.
 fn collect_temp_scans<'p>(plan: &'p Plan, out: &mut Vec<&'p str>) {
-    if let Plan::TempScan { name } = plan {
+    if let Plan::TempScan { name, .. } = plan {
         out.push(name);
     }
     for child in plan.children() {
@@ -626,6 +873,11 @@ mod tests {
         .is_err());
         assert!(Cluster::start(ClusterConfig {
             message_capacity: 10,
+            ..ClusterConfig::quick(1)
+        })
+        .is_err());
+        assert!(Cluster::start(ClusterConfig {
+            max_concurrent: 0,
             ..ClusterConfig::quick(1)
         })
         .is_err());
@@ -678,5 +930,141 @@ mod tests {
         let c2 = Cluster::start(ClusterConfig::quick(1)).unwrap();
         c2.load_tpch(0.001).unwrap();
         c2.shutdown();
+    }
+
+    #[test]
+    fn submit_returns_results_asynchronously() {
+        let c = Cluster::start(ClusterConfig::quick(2)).unwrap();
+        c.load_tpch(0.001).unwrap();
+        let plan = Plan::scan_cols(TpchTable::Orders, &["o_orderkey"])
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")])
+            .gather();
+        let q = Query::single(0, plan);
+        let handles: Vec<QueryHandle> = (0..6).map(|_| c.submit(&q).unwrap()).collect();
+        // Ids are distinct.
+        let mut ids: Vec<u32> = handles.iter().map(|h| h.id().0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+        let rows: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.wait().unwrap().row_count())
+            .collect();
+        assert!(rows.iter().all(|&r| r == rows[0]));
+        assert_eq!(c.active_temp_namespaces(), 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn try_result_and_double_take() {
+        let c = Cluster::start(ClusterConfig::quick(1)).unwrap();
+        c.load_tpch(0.001).unwrap();
+        let q = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey"]).gather(),
+        );
+        let h = c.submit(&q).unwrap();
+        // Poll until done.
+        let r = loop {
+            if let Some(r) = h.try_result() {
+                break r;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(r.unwrap().row_count(), 25);
+        assert!(h.is_finished());
+        // The result can only be taken once.
+        assert!(h.try_result().is_none());
+        assert!(matches!(h.wait(), Err(EngineError::Execution(_))));
+        c.shutdown();
+    }
+
+    #[test]
+    fn cancelled_before_start_never_runs() {
+        let c = Cluster::start(ClusterConfig {
+            max_concurrent: 1,
+            ..ClusterConfig::quick(2)
+        })
+        .unwrap();
+        c.load_tpch(0.002).unwrap();
+        let q = Query::single(
+            0,
+            Plan::scan(TpchTable::Lineitem)
+                .repartition(&["l_orderkey"])
+                .gather(),
+        );
+        // Saturate the single slot, then cancel queued queries.
+        let running: Vec<QueryHandle> = (0..2).map(|_| c.submit(&q).unwrap()).collect();
+        let queued: Vec<QueryHandle> = (0..3).map(|_| c.submit(&q).unwrap()).collect();
+        for h in &queued {
+            h.cancel();
+        }
+        for h in running {
+            assert!(h.wait().is_ok());
+        }
+        for h in queued {
+            match h.wait() {
+                // Cancelled in the queue, or the race was lost and it ran
+                // to completion — both are legal; wedging is not.
+                Err(EngineError::Cancelled) | Ok(_) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        // The engine stays healthy afterwards.
+        assert!(c.run(&q).is_ok());
+        assert_eq!(c.active_temp_namespaces(), 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn node_panics_surface_as_errors_not_hangs() {
+        let c = Cluster::start(ClusterConfig {
+            max_concurrent: 1, // a lost dispatcher slot would wedge everything
+            ..ClusterConfig::quick(2)
+        })
+        .unwrap();
+        c.load_tpch(0.001).unwrap();
+        // A hand-written plan naming a nonexistent column panics inside
+        // the node threads (it never went through the planner's checks).
+        let bad = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Nation, &["no_such_column"]).gather(),
+        );
+        let h = c.submit(&bad).unwrap();
+        match h.wait() {
+            Err(EngineError::Execution(msg)) => {
+                assert!(msg.contains("panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        assert_eq!(c.active_temp_namespaces(), 0);
+        // The single dispatcher slot survived: later queries still run.
+        let ok = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey"]).gather(),
+        );
+        assert_eq!(c.run(&ok).unwrap().row_count(), 25);
+        c.shutdown();
+    }
+
+    #[test]
+    fn queued_queries_fail_cleanly_on_shutdown() {
+        let c = Cluster::start(ClusterConfig {
+            max_concurrent: 1,
+            ..ClusterConfig::quick(1)
+        })
+        .unwrap();
+        c.load_tpch(0.001).unwrap();
+        let q = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey"]).gather(),
+        );
+        let handles: Vec<QueryHandle> = (0..4).map(|_| c.submit(&q).unwrap()).collect();
+        c.shutdown();
+        for h in handles {
+            match h.wait() {
+                Ok(_) | Err(EngineError::ClusterDown) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
     }
 }

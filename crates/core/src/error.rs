@@ -22,6 +22,10 @@ pub enum EngineError {
     /// A query failed at run time for a data-dependent reason (e.g. a
     /// scalar-subquery parameter stage produced no rows).
     Execution(String),
+    /// The query was cancelled via
+    /// [`QueryHandle::cancel`](crate::cluster::QueryHandle::cancel) before
+    /// it produced a result.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +37,7 @@ impl fmt::Display for EngineError {
             EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Planner(msg) => write!(f, "planner error: {msg}"),
             EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

@@ -15,9 +15,11 @@
 //!
 //! Message layout on the wire (after Figure 7's message header): the first
 //! part of a message (RDMA key, NUMA node, retain count) never leaves the
-//! machine; only the second part is transmitted — exchange id, last-message
-//! flag, partition bucket, used byte count, then serialized tuples in the
-//! Figure 8 format.
+//! machine; only the second part is transmitted — query id, exchange id,
+//! last-message flag, partition bucket, used byte count, then serialized
+//! tuples in the Figure 8 format. The query id lets the multiplexers route
+//! and account traffic of several concurrently running queries over the
+//! same fabric.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,11 +30,11 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex};
 
-use hsqp_net::{Fabric, NodeId, RdmaEndpoint, Schedule, TcpEndpoint};
+use hsqp_net::{Fabric, NodeId, QueryId, QueryStatsRegistry, RdmaEndpoint, Schedule, TcpEndpoint};
 use hsqp_numa::{AllocPolicy, SocketId, Topology};
 
 /// Size of the wire header preceding serialized tuples.
-pub const HEADER_LEN: usize = 4 + 1 + 2 + 4;
+pub const HEADER_LEN: usize = 4 + 4 + 1 + 2 + 4;
 
 /// Header flag: the sender's final message for this exchange.
 pub const FLAG_LAST: u8 = 1;
@@ -41,7 +43,15 @@ pub const FLAG_LAST: u8 = 1;
 pub const FLAG_DUP: u8 = 2;
 
 /// Encode the transmitted message header.
-pub fn encode_header(exchange: u32, flags: u8, bucket: u16, used: u32, out: &mut Vec<u8>) {
+pub fn encode_header(
+    query: QueryId,
+    exchange: u32,
+    flags: u8,
+    bucket: u16,
+    used: u32,
+    out: &mut Vec<u8>,
+) {
+    out.extend_from_slice(&query.0.to_le_bytes());
     out.extend_from_slice(&exchange.to_le_bytes());
     out.push(flags);
     out.extend_from_slice(&bucket.to_le_bytes());
@@ -49,18 +59,22 @@ pub fn encode_header(exchange: u32, flags: u8, bucket: u16, used: u32, out: &mut
 }
 
 /// Overwrite the header at the front of an already-built message.
-pub fn patch_header(exchange: u32, flags: u8, bucket: u16, buf: &mut [u8]) {
+pub fn patch_header(query: QueryId, exchange: u32, flags: u8, bucket: u16, buf: &mut [u8]) {
     let used = (buf.len() - HEADER_LEN) as u32;
-    buf[0..4].copy_from_slice(&exchange.to_le_bytes());
-    buf[4] = flags;
-    buf[5..7].copy_from_slice(&bucket.to_le_bytes());
-    buf[7..11].copy_from_slice(&used.to_le_bytes());
+    buf[0..4].copy_from_slice(&query.0.to_le_bytes());
+    buf[4..8].copy_from_slice(&exchange.to_le_bytes());
+    buf[8] = flags;
+    buf[9..11].copy_from_slice(&bucket.to_le_bytes());
+    buf[11..15].copy_from_slice(&used.to_le_bytes());
 }
 
 /// Decoded message header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
-    /// Logical exchange operator this message belongs to.
+    /// Query this message belongs to.
+    pub query: QueryId,
+    /// Logical exchange operator (unique within the query) this message
+    /// belongs to.
     pub exchange: u32,
     /// Whether this is the sender's final message for this exchange.
     pub last: bool,
@@ -79,11 +93,12 @@ pub struct Header {
 pub fn decode_header(buf: &[u8]) -> Header {
     assert!(buf.len() >= HEADER_LEN, "message shorter than header");
     Header {
-        exchange: u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
-        last: buf[4] & FLAG_LAST != 0,
-        dup: buf[4] & FLAG_DUP != 0,
-        bucket: u16::from_le_bytes(buf[5..7].try_into().expect("2 bytes")),
-        used: u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")),
+        query: QueryId(u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"))),
+        exchange: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+        last: buf[8] & FLAG_LAST != 0,
+        dup: buf[8] & FLAG_DUP != 0,
+        bucket: u16::from_le_bytes(buf[9..11].try_into().expect("2 bytes")),
+        used: u32::from_le_bytes(buf[11..15].try_into().expect("4 bytes")),
     }
 }
 
@@ -205,10 +220,18 @@ impl ExchangeState {
     }
 }
 
+/// Composite hub key: query id in the high half, exchange id in the low —
+/// two in-flight queries can use identical exchange sequence numbers
+/// without their tuples ever mixing.
+fn hub_key(query: QueryId, exchange: u32) -> u64 {
+    (u64::from(query.0) << 32) | u64::from(exchange)
+}
+
 /// Per-node routing point between the multiplexer and the exchange
-/// operators: per-socket receive queues with cross-socket work stealing.
+/// operators: per-socket receive queues with cross-socket work stealing,
+/// keyed by (query, exchange) so concurrent queries stay isolated.
 pub struct RecvHub {
-    exchanges: Mutex<HashMap<u32, ExchangeState>>,
+    exchanges: Mutex<HashMap<u64, ExchangeState>>,
     wakeup: Condvar,
     queues: usize,
 }
@@ -230,15 +253,18 @@ impl RecvHub {
         self.queues
     }
 
-    /// Announce how many last-markers exchange `id` will receive; consumers
-    /// block until that many have arrived and all data is drained.
-    pub fn expect_lasts(&self, id: u32, expected: u32) {
+    /// Announce how many last-markers exchange `id` of `query` will
+    /// receive; consumers block until that many have arrived and all data
+    /// is drained.
+    pub fn expect_lasts(&self, query: QueryId, id: u32, expected: u32) {
         let mut map = self.exchanges.lock();
-        let st = map.entry(id).or_insert_with(|| ExchangeState {
-            queues: (0..self.queues).map(|_| Default::default()).collect(),
-            lasts_received: 0,
-            expected_lasts: None,
-        });
+        let st = map
+            .entry(hub_key(query, id))
+            .or_insert_with(|| ExchangeState {
+                queues: (0..self.queues).map(|_| Default::default()).collect(),
+                lasts_received: 0,
+                expected_lasts: None,
+            });
         st.expected_lasts = Some(expected);
         drop(map);
         self.wakeup.notify_all();
@@ -246,13 +272,15 @@ impl RecvHub {
 
     /// Deliver a message (the multiplexer calls this; also used for
     /// node-local partitions that never touch the network).
-    pub fn deliver(&self, id: u32, queue: usize, msg: Option<RecvMsg>, last: bool) {
+    pub fn deliver(&self, query: QueryId, id: u32, queue: usize, msg: Option<RecvMsg>, last: bool) {
         let mut map = self.exchanges.lock();
-        let st = map.entry(id).or_insert_with(|| ExchangeState {
-            queues: (0..self.queues).map(|_| Default::default()).collect(),
-            lasts_received: 0,
-            expected_lasts: None,
-        });
+        let st = map
+            .entry(hub_key(query, id))
+            .or_insert_with(|| ExchangeState {
+                queues: (0..self.queues).map(|_| Default::default()).collect(),
+                lasts_received: 0,
+                expected_lasts: None,
+            });
         if let Some(m) = msg {
             st.queues[queue % self.queues].push_back(m);
         }
@@ -263,14 +291,15 @@ impl RecvHub {
         self.wakeup.notify_all();
     }
 
-    /// Pop the next message for exchange `id`, preferring `own` queue and
-    /// stealing from others when `steal` is set. Returns `None` once the
-    /// exchange is fully drained (all lasts received, queues empty).
-    pub fn pop(&self, id: u32, own: usize, steal: bool) -> Option<RecvMsg> {
+    /// Pop the next message for exchange `id` of `query`, preferring `own`
+    /// queue and stealing from others when `steal` is set. Returns `None`
+    /// once the exchange is fully drained (all lasts received, queues
+    /// empty).
+    pub fn pop(&self, query: QueryId, id: u32, own: usize, steal: bool) -> Option<RecvMsg> {
         let mut map = self.exchanges.lock();
         loop {
             let st = map
-                .get_mut(&id)
+                .get_mut(&hub_key(query, id))
                 .expect("exchange must be registered before popping");
             // 5a: NUMA-local receive queue first.
             if let Some(m) = st.queues[own % self.queues].pop_front() {
@@ -299,8 +328,22 @@ impl RecvHub {
     }
 
     /// Remove a completed exchange's state.
-    pub fn finish(&self, id: u32) {
-        self.exchanges.lock().remove(&id);
+    pub fn finish(&self, query: QueryId, id: u32) {
+        self.exchanges.lock().remove(&hub_key(query, id));
+    }
+
+    /// Remove every residual exchange state of `query` (completion and
+    /// cancellation cleanup: nothing of a finished query may linger in the
+    /// hub, however its stages ended).
+    pub fn finish_query(&self, query: QueryId) {
+        self.exchanges
+            .lock()
+            .retain(|&k, _| (k >> 32) as u32 != query.0);
+    }
+
+    /// Number of exchange states currently held (tests and leak checks).
+    pub fn active_exchanges(&self) -> usize {
+        self.exchanges.lock().len()
     }
 }
 
@@ -382,6 +425,10 @@ pub struct MuxConfig {
 
 /// Spawn the multiplexer thread for one node.
 ///
+/// Every message the multiplexer puts on the wire is attributed to the
+/// query id in its header via `query_stats`, giving per-query fabric
+/// accounting even when several queries share the multiplexer.
+///
 /// Returns the command sender; the thread exits on [`MuxCmd::Shutdown`].
 pub fn spawn_multiplexer(
     cfg: MuxConfig,
@@ -389,11 +436,22 @@ pub fn spawn_multiplexer(
     hub: Arc<RecvHub>,
     pool: Arc<MessagePool>,
     scheduler: Option<Arc<hsqp_net::NetScheduler>>,
+    query_stats: Arc<QueryStatsRegistry>,
 ) -> (Sender<MuxCmd>, std::thread::JoinHandle<()>) {
     let (tx, rx) = unbounded();
     let handle = std::thread::Builder::new()
         .name(format!("mux-{}", cfg.node.0))
-        .spawn(move || mux_loop(&cfg, &endpoint, &hub, &pool, scheduler.as_deref(), &rx))
+        .spawn(move || {
+            mux_loop(
+                &cfg,
+                &endpoint,
+                &hub,
+                &pool,
+                scheduler.as_deref(),
+                &query_stats,
+                &rx,
+            )
+        })
         .expect("spawn multiplexer");
     (tx, handle)
 }
@@ -404,6 +462,7 @@ fn mux_loop(
     hub: &RecvHub,
     pool: &MessagePool,
     scheduler: Option<&hsqp_net::NetScheduler>,
+    query_stats: &QueryStatsRegistry,
     rx: &Receiver<MuxCmd>,
 ) {
     let n = cfg.nodes;
@@ -473,7 +532,7 @@ fn mux_loop(
             while sent < cfg.batch_per_phase {
                 match queues[target.idx()].pop_front() {
                     Some((payload, pool_socket)) => {
-                        endpoint.send(target, &payload);
+                        ship(endpoint, query_stats, target, &payload);
                         pool.recycle(pool_socket);
                         sent += 1;
                     }
@@ -489,7 +548,7 @@ fn mux_loop(
             let mut any = false;
             for t in 0..n {
                 if let Some((payload, pool_socket)) = queues[t as usize].pop_front() {
-                    endpoint.send(NodeId(t), &payload);
+                    ship(endpoint, query_stats, NodeId(t), &payload);
                     pool.recycle(pool_socket);
                     any = true;
                 }
@@ -499,6 +558,13 @@ fn mux_loop(
             }
         }
     }
+}
+
+/// Put one message on the wire and attribute it to its query.
+fn ship(endpoint: &Endpoint, query_stats: &QueryStatsRegistry, target: NodeId, payload: &Bytes) {
+    let h = decode_header(payload);
+    query_stats.record_send(h.query, payload.len() as u64);
+    endpoint.send(target, payload);
 }
 
 fn route_incoming(cfg: &MuxConfig, hub: &RecvHub, payload: Bytes, recv_rr: &mut u64) {
@@ -526,6 +592,7 @@ fn route_incoming(cfg: &MuxConfig, hub: &RecvHub, payload: Bytes, recv_rr: &mut 
     };
     let has_data = h.used > 0 && !h.dup;
     hub.deliver(
+        h.query,
         h.exchange,
         queue,
         has_data.then_some(RecvMsg { data, mem_socket }),
@@ -541,12 +608,13 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let mut buf = Vec::new();
-        encode_header(77, FLAG_LAST, 5, 1234, &mut buf);
+        encode_header(QueryId(9), 77, FLAG_LAST, 5, 1234, &mut buf);
         assert_eq!(buf.len(), HEADER_LEN);
         let h = decode_header(&buf);
         assert_eq!(
             h,
             Header {
+                query: QueryId(9),
                 exchange: 77,
                 last: true,
                 dup: false,
@@ -576,11 +644,14 @@ mod tests {
         assert_eq!(pool.reuses(), 1);
     }
 
+    const Q: QueryId = QueryId(1);
+
     #[test]
     fn hub_delivers_and_drains() {
         let hub = RecvHub::new(2);
-        hub.expect_lasts(1, 1);
+        hub.expect_lasts(Q, 1, 1);
         hub.deliver(
+            Q,
             1,
             0,
             Some(RecvMsg {
@@ -589,18 +660,46 @@ mod tests {
             }),
             false,
         );
-        hub.deliver(1, 0, None, true);
-        let m = hub.pop(1, 0, true).unwrap();
+        hub.deliver(Q, 1, 0, None, true);
+        let m = hub.pop(Q, 1, 0, true).unwrap();
         assert_eq!(&m.data[..], b"abc");
-        assert!(hub.pop(1, 0, true).is_none());
-        hub.finish(1);
+        assert!(hub.pop(Q, 1, 0, true).is_none());
+        hub.finish(Q, 1);
+        assert_eq!(hub.active_exchanges(), 0);
+    }
+
+    #[test]
+    fn hub_isolates_queries_with_identical_exchange_ids() {
+        let hub = RecvHub::new(1);
+        let (qa, qb) = (QueryId(7), QueryId(8));
+        hub.expect_lasts(qa, 1, 1);
+        hub.expect_lasts(qb, 1, 1);
+        hub.deliver(
+            qa,
+            1,
+            0,
+            Some(RecvMsg {
+                data: Bytes::from_static(b"for-a"),
+                mem_socket: SocketId(0),
+            }),
+            true,
+        );
+        hub.deliver(qb, 1, 0, None, true);
+        // Query B's exchange 1 drains empty; A's holds its message.
+        assert!(hub.pop(qb, 1, 0, true).is_none());
+        assert_eq!(&hub.pop(qa, 1, 0, true).unwrap().data[..], b"for-a");
+        assert!(hub.pop(qa, 1, 0, true).is_none());
+        hub.finish_query(qa);
+        hub.finish_query(qb);
+        assert_eq!(hub.active_exchanges(), 0);
     }
 
     #[test]
     fn hub_steals_across_queues() {
         let hub = RecvHub::new(2);
-        hub.expect_lasts(9, 1);
+        hub.expect_lasts(Q, 9, 1);
         hub.deliver(
+            Q,
             9,
             1, // other queue
             Some(RecvMsg {
@@ -610,15 +709,16 @@ mod tests {
             true,
         );
         // Worker on queue 0 with stealing finds it.
-        assert!(hub.pop(9, 0, true).is_some());
-        assert!(hub.pop(9, 0, true).is_none());
+        assert!(hub.pop(Q, 9, 0, true).is_some());
+        assert!(hub.pop(Q, 9, 0, true).is_none());
     }
 
     #[test]
     fn hub_without_stealing_ignores_other_queues() {
         let hub = RecvHub::new(2);
-        hub.expect_lasts(3, 1);
+        hub.expect_lasts(Q, 3, 1);
         hub.deliver(
+            Q,
             3,
             1,
             Some(RecvMsg {
@@ -628,20 +728,20 @@ mod tests {
             true,
         );
         // Queue-0 consumer without stealing drains (sees none).
-        assert!(hub.pop(3, 0, false).is_none());
+        assert!(hub.pop(Q, 3, 0, false).is_none());
         // Queue-1 consumer picks it up.
-        assert!(hub.pop(3, 1, false).is_some());
+        assert!(hub.pop(Q, 3, 1, false).is_some());
     }
 
     #[test]
     fn hub_pop_blocks_until_last_arrives() {
         let hub = RecvHub::new(1);
-        hub.expect_lasts(5, 1);
+        hub.expect_lasts(Q, 5, 1);
         let h2 = Arc::clone(&hub);
-        let h = std::thread::spawn(move || h2.pop(5, 0, true));
+        let h = std::thread::spawn(move || h2.pop(Q, 5, 0, true));
         std::thread::sleep(Duration::from_millis(30));
         assert!(!h.is_finished(), "pop returned before last marker");
-        hub.deliver(5, 0, None, true);
+        hub.deliver(Q, 5, 0, None, true);
         assert!(h.join().unwrap().is_none());
     }
 
@@ -653,6 +753,8 @@ mod tests {
         let mut senders = Vec::new();
         let hubs: Vec<_> = (0..2).map(|_| RecvHub::new(2)).collect();
         let sched = hsqp_net::NetScheduler::new(2);
+        let stats = Arc::new(QueryStatsRegistry::new());
+        let q_stats = stats.register(Q);
         for node in 0..2u16 {
             let ep = net.endpoint(NodeId(node));
             ep.post_recvs(1 << 20);
@@ -672,6 +774,7 @@ mod tests {
                 Arc::clone(&hubs[node as usize]),
                 pool,
                 Some(Arc::clone(&sched)),
+                Arc::clone(&stats),
             );
             senders.push(tx);
             handles.push(h);
@@ -679,8 +782,9 @@ mod tests {
 
         // Node 0 sends one data message + last marker to node 1.
         let mut msg = Vec::new();
-        encode_header(42, 0, 0, 5, &mut msg);
+        encode_header(Q, 42, 0, 0, 5, &mut msg);
         msg.extend_from_slice(b"hello");
+        let msg_len = msg.len() as u64;
         senders[0]
             .send(MuxCmd::Send {
                 target: NodeId(1),
@@ -689,7 +793,7 @@ mod tests {
             })
             .unwrap();
         let mut lastmsg = Vec::new();
-        encode_header(42, FLAG_LAST, 0, 0, &mut lastmsg);
+        encode_header(Q, 42, FLAG_LAST, 0, 0, &mut lastmsg);
         senders[0]
             .send(MuxCmd::Send {
                 target: NodeId(1),
@@ -698,10 +802,13 @@ mod tests {
             })
             .unwrap();
 
-        hubs[1].expect_lasts(42, 1);
-        let got = hubs[1].pop(42, 0, true).unwrap();
+        hubs[1].expect_lasts(Q, 42, 1);
+        let got = hubs[1].pop(Q, 42, 0, true).unwrap();
         assert_eq!(&got.data[..], b"hello");
-        assert!(hubs[1].pop(42, 0, true).is_none());
+        assert!(hubs[1].pop(Q, 42, 0, true).is_none());
+        // Both wire messages were attributed to the query.
+        assert_eq!(q_stats.messages_sent(), 2);
+        assert_eq!(q_stats.bytes_sent(), msg_len + HEADER_LEN as u64);
 
         for tx in &senders {
             tx.send(MuxCmd::Shutdown).unwrap();

@@ -8,6 +8,7 @@
 //! alike.
 
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -15,10 +16,10 @@ use bytes::Bytes;
 use crossbeam::channel::Sender;
 use parking_lot::RwLock;
 
-use hsqp_net::{Fabric, NodeId};
+use hsqp_net::{Fabric, NodeId, QueryId};
 use hsqp_numa::{AllocPolicy, SocketId, Topology};
 use hsqp_storage::placement::{crc32, crc32_i64};
-use hsqp_storage::{Column, Schema, Table, Value};
+use hsqp_storage::{decimal_to_f64, Column, Schema, Table, Value};
 use hsqp_tpch::TpchTable;
 
 use crate::exchange::{
@@ -56,6 +57,12 @@ pub struct NodeCtx {
     pub to_mux: Sender<MuxCmd>,
     /// Loaded base relations (this node's placement share).
     pub tables: RwLock<HashMap<TpchTable, Arc<Table>>>,
+    /// Temporary relations materialized by in-flight queries' stages,
+    /// namespaced per query so overlapping multi-stage queries cannot read
+    /// (or clobber) each other's temps. The cluster inserts after each
+    /// `Materialize` stage and removes the whole namespace when the query
+    /// finishes, fails, or is cancelled.
+    pub temps: RwLock<HashMap<QueryId, HashMap<String, Arc<Table>>>>,
     /// Rows deserialized per worker across all exchanges (skew diagnosis:
     /// with work stealing the loads balance; with static classic-exchange
     /// ownership a skewed partition overloads one unit).
@@ -76,49 +83,91 @@ impl NodeCtx {
     fn is_classic(&self) -> bool {
         self.classic_units.is_some()
     }
+
+    /// This node's share of query `query`'s temp relation `name`.
+    fn query_temp(&self, query: QueryId, name: &str) -> Arc<Table> {
+        self.temps
+            .read()
+            .get(&query)
+            .and_then(|ns| ns.get(name))
+            .unwrap_or_else(|| {
+                panic!(
+                    "temp relation {name:?} of {query} not materialized on node {} \
+                     (missing Materialize stage before this TempScan)",
+                    self.node.0
+                )
+            })
+            .clone()
+    }
 }
 
-/// Executes plans on one node.
+/// One operator's node-local result: either a freshly computed table or a
+/// shared reference to an already materialized one (a base-relation or
+/// temp-relation scan with no filter and no projection). Sharing avoids
+/// deep-copying materialized CTEs on every `Plan::TempScan` — doubly
+/// important with concurrent queries multiplying scan counts.
+pub enum Batch {
+    /// A table this operator computed and owns.
+    Owned(Table),
+    /// A shared, immutable materialized table.
+    Shared(Arc<Table>),
+}
+
+impl Deref for Batch {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        match self {
+            Batch::Owned(t) => t,
+            Batch::Shared(t) => t,
+        }
+    }
+}
+
+impl Batch {
+    /// The table by value (clones only if it is shared and referenced
+    /// elsewhere).
+    pub fn into_table(self) -> Table {
+        match self {
+            Batch::Owned(t) => t,
+            Batch::Shared(t) => Arc::try_unwrap(t).unwrap_or_else(|t| (*t).clone()),
+        }
+    }
+
+    /// The table behind an `Arc` (no copy in the shared case).
+    pub fn into_arc(self) -> Arc<Table> {
+        match self {
+            Batch::Owned(t) => Arc::new(t),
+            Batch::Shared(t) => t,
+        }
+    }
+}
+
+/// Executes plans on one node, on behalf of one query.
 pub struct NodeExec<'a> {
     ctx: &'a NodeCtx,
+    query: QueryId,
     params: &'a [Value],
-    temps: &'a HashMap<String, Arc<Table>>,
     next_exchange: AtomicU32,
 }
 
-/// An empty temp-relation map for single-stage plans without CTEs.
-static NO_TEMPS: std::sync::OnceLock<HashMap<String, Arc<Table>>> = std::sync::OnceLock::new();
-
 impl<'a> NodeExec<'a> {
-    /// Executor with parameters bound and exchange ids starting at
-    /// `exchange_base` (must be identical on all nodes for a given run).
-    pub fn new(ctx: &'a NodeCtx, params: &'a [Value], exchange_base: u32) -> Self {
-        Self::with_temps(
-            ctx,
-            params,
-            NO_TEMPS.get_or_init(HashMap::new),
-            exchange_base,
-        )
-    }
-
-    /// [`new`](Self::new) plus this node's share of the temporary relations
-    /// materialized by earlier query stages ([`Plan::TempScan`] sources).
-    pub fn with_temps(
-        ctx: &'a NodeCtx,
-        params: &'a [Value],
-        temps: &'a HashMap<String, Arc<Table>>,
-        exchange_base: u32,
-    ) -> Self {
+    /// Executor for `query` with parameters bound and exchange ids starting
+    /// at `exchange_base` (must be identical on all nodes for a given
+    /// stage; distinct stages of one query use disjoint ranges). Temp
+    /// relations materialized by the query's earlier stages are read from
+    /// the node's per-query namespace.
+    pub fn new(ctx: &'a NodeCtx, query: QueryId, params: &'a [Value], exchange_base: u32) -> Self {
         Self {
             ctx,
+            query,
             params,
-            temps,
             next_exchange: AtomicU32::new(exchange_base),
         }
     }
 
     /// Execute `plan`, returning this node's share of the result.
-    pub fn execute(&self, plan: &Plan) -> Table {
+    pub fn execute(&self, plan: &Plan) -> Batch {
         match plan {
             Plan::Scan {
                 table,
@@ -126,38 +175,34 @@ impl<'a> NodeExec<'a> {
                 project,
             } => {
                 let t = self.ctx.local_table(*table);
-                let filtered = match filter {
-                    Some(pred) => self.parallel_filter(&t, pred),
-                    None => (*t).clone(),
-                };
-                match project {
-                    Some(names) => {
-                        let idx: Vec<usize> = names
-                            .iter()
-                            .map(|n| filtered.schema().index_of(n))
-                            .collect();
-                        filtered.project(&idx)
+                match (filter, project) {
+                    (Some(pred), project) => {
+                        let filtered = self.parallel_filter(&t, pred);
+                        Batch::Owned(match project {
+                            Some(names) => project_table(&filtered, names),
+                            None => filtered,
+                        })
                     }
-                    None => filtered,
+                    (None, Some(names)) => Batch::Owned(project_table(&t, names)),
+                    // No transform: share the loaded relation.
+                    (None, None) => Batch::Shared(t),
                 }
             }
-            Plan::TempScan { name } => {
-                let t = self.temps.get(name).unwrap_or_else(|| {
-                    panic!(
-                        "temp relation {name:?} not materialized on node {} \
-                         (missing Materialize stage before this TempScan)",
-                        self.ctx.node.0
-                    )
-                });
-                (**t).clone()
+            Plan::TempScan { name, project } => {
+                let t = self.ctx.query_temp(self.query, name);
+                match project {
+                    Some(names) => Batch::Owned(project_table(&t, names)),
+                    // No transform: share the materialized temp.
+                    None => Batch::Shared(t),
+                }
             }
             Plan::Filter { input, predicate } => {
                 let t = self.execute(input);
-                self.parallel_filter(&t, predicate)
+                Batch::Owned(self.parallel_filter(&t, predicate))
             }
             Plan::Map { input, outputs } => {
                 let t = self.execute(input);
-                self.parallel_map(&t, outputs)
+                Batch::Owned(self.parallel_map(&t, outputs))
             }
             Plan::HashJoin {
                 probe,
@@ -166,7 +211,7 @@ impl<'a> NodeExec<'a> {
                 build_keys,
                 kind,
             } => {
-                let build_t = self.execute(build);
+                let build_t = self.execute(build).into_arc();
                 let build_idx: Vec<usize> = build_keys
                     .iter()
                     .map(|k| build_t.schema().index_of(k))
@@ -177,7 +222,13 @@ impl<'a> NodeExec<'a> {
                     .iter()
                     .map(|k| probe_t.schema().index_of(k))
                     .collect();
-                probe_join(&probe_t, &jt, &probe_idx, *kind, &self.ctx.driver)
+                Batch::Owned(probe_join(
+                    &probe_t,
+                    &jt,
+                    &probe_idx,
+                    *kind,
+                    &self.ctx.driver,
+                ))
             }
             Plan::Aggregate {
                 input,
@@ -188,16 +239,23 @@ impl<'a> NodeExec<'a> {
                 let t = self.execute(input);
                 let group_idx: Vec<usize> =
                     group_by.iter().map(|g| t.schema().index_of(g)).collect();
-                aggregate(&t, &group_idx, aggs, *phase, &self.ctx.driver, self.params)
+                Batch::Owned(aggregate(
+                    &t,
+                    &group_idx,
+                    aggs,
+                    *phase,
+                    &self.ctx.driver,
+                    self.params,
+                ))
             }
             Plan::Sort { input, keys, limit } => {
                 let t = self.execute(input);
-                sort_table(&t, keys, *limit)
+                Batch::Owned(sort_table(&t, keys, *limit))
             }
             Plan::Exchange { input, kind } => {
                 let t = self.execute(input);
                 let id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
-                self.run_exchange(id, kind, &t)
+                Batch::Owned(self.run_exchange(id, kind, &t))
             }
         }
     }
@@ -271,7 +329,7 @@ impl<'a> NodeExec<'a> {
             _ if n <= 1 => 0,
             _ => u32::from(n - 1),
         };
-        ctx.hub.expect_lasts(id, expected_lasts);
+        ctx.hub.expect_lasts(self.query, id, expected_lasts);
 
         match kind {
             ExchangeKind::HashPartition(keys) => {
@@ -288,7 +346,7 @@ impl<'a> NodeExec<'a> {
             ExchangeKind::Gather if me.0 == 0 => Some(input.clone()),
             ExchangeKind::Gather => {
                 // Non-coordinators produce nothing further.
-                ctx.hub.finish(id);
+                ctx.hub.finish(self.query, id);
                 return Table::empty(schema);
             }
             _ => None,
@@ -298,7 +356,7 @@ impl<'a> NodeExec<'a> {
         if let Some(local) = local_part {
             out.append(&local);
         }
-        ctx.hub.finish(id);
+        ctx.hub.finish(self.query, id);
         out
     }
 
@@ -309,7 +367,9 @@ impl<'a> NodeExec<'a> {
         let units = ctx.classic_units.unwrap_or(1);
         let buckets_total = ctx.nodes as usize * units as usize;
         let ser = RowSerializer::new(input.schema());
-        let key_cols: Vec<&Column> = key_idx.iter().map(|&i| input.column(i)).collect();
+        // Same canonicalization as the join hash: a Decimal repartition key
+        // must land on the node where the equal Float64 key lands.
+        let key_cols = crate::ops::join_key_cols(input, key_idx);
 
         let leftovers = ctx.driver.run(
             input.rows(),
@@ -361,7 +421,7 @@ impl<'a> NodeExec<'a> {
         let ctx = self.ctx;
         let target = NodeId((bucket / units as usize) as u16);
         let local_bucket = (bucket % units as usize) as u16;
-        patch_header(id, 0, local_bucket, &mut buf);
+        patch_header(self.query, id, 0, local_bucket, &mut buf);
         // Writing a remote buffer costs QPI time (Figure 9's effect).
         ctx.topology
             .charge_access(worker_socket, mem_socket, buf.len());
@@ -372,8 +432,13 @@ impl<'a> NodeExec<'a> {
                 mem_socket.0 as usize
             };
             let data = Bytes::from(buf).slice(HEADER_LEN..);
-            ctx.hub
-                .deliver(id, queue, Some(RecvMsg { data, mem_socket }), false);
+            ctx.hub.deliver(
+                self.query,
+                id,
+                queue,
+                Some(RecvMsg { data, mem_socket }),
+                false,
+            );
             ctx.pool.recycle(mem_socket);
         } else {
             ctx.to_mux
@@ -397,11 +462,12 @@ impl<'a> NodeExec<'a> {
         let worker_socket = ctx.driver.worker_socket(0);
 
         let flush = |mut buf: Vec<u8>, socket: SocketId| {
-            patch_header(id, 0, 0, &mut buf);
+            patch_header(self.query, id, 0, 0, &mut buf);
             ctx.topology.charge_access(worker_socket, socket, buf.len());
             // Local retain.
             let bytes = Bytes::from(buf);
             ctx.hub.deliver(
+                self.query,
                 id,
                 if ctx.is_classic() {
                     0
@@ -425,7 +491,7 @@ impl<'a> NodeExec<'a> {
                 // Classic: each further remote unit receives its own copy.
                 for u in 1..units {
                     let mut dup = bytes.to_vec();
-                    patch_header(id, FLAG_DUP, u, &mut dup);
+                    patch_header(self.query, id, FLAG_DUP, u, &mut dup);
                     ctx.to_mux
                         .send(MuxCmd::Broadcast {
                             payload: Bytes::from(dup),
@@ -477,7 +543,7 @@ impl<'a> NodeExec<'a> {
             ser.serialize_row(input, row, &mut buf);
             if buf.len() >= ctx.message_capacity {
                 let mut full = buf;
-                patch_header(id, 0, 0, &mut full);
+                patch_header(self.query, id, 0, 0, &mut full);
                 ctx.to_mux
                     .send(MuxCmd::Send {
                         target: NodeId(0),
@@ -495,7 +561,7 @@ impl<'a> NodeExec<'a> {
         }
         if buf.len() > HEADER_LEN {
             let mut full = buf;
-            patch_header(id, 0, 0, &mut full);
+            patch_header(self.query, id, 0, 0, &mut full);
             ctx.to_mux
                 .send(MuxCmd::Send {
                     target: NodeId(0),
@@ -527,7 +593,7 @@ impl<'a> NodeExec<'a> {
         };
         for t in targets {
             let mut msg = Vec::with_capacity(HEADER_LEN);
-            encode_header(id, FLAG_LAST, 0, 0, &mut msg);
+            encode_header(self.query, id, FLAG_LAST, 0, 0, &mut msg);
             ctx.to_mux
                 .send(MuxCmd::Send {
                     target: t,
@@ -547,6 +613,7 @@ impl<'a> NodeExec<'a> {
         let stealing = !ctx.is_classic();
         let workers = ctx.driver.workers();
 
+        let query = self.query;
         let pieces: Vec<Table> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers as usize);
             for w in 0..workers {
@@ -562,7 +629,7 @@ impl<'a> NodeExec<'a> {
                         w as usize
                     };
                     let mut out = Table::empty(de_schema(de));
-                    while let Some(msg) = hub.pop(id, own_queue, stealing) {
+                    while let Some(msg) = hub.pop(query, id, own_queue, stealing) {
                         // Reading a remote message buffer crosses QPI.
                         topo.charge_access(socket, msg.mem_socket, msg.data.len());
                         let t = de.deserialize(&msg.data);
@@ -597,6 +664,12 @@ fn de_schema(de: &RowDeserializer) -> Schema {
     de.deserialize(&[]).schema().clone()
 }
 
+/// Project `t` to the named columns, in order.
+fn project_table(t: &Table, names: &[String]) -> Table {
+    let idx: Vec<usize> = names.iter().map(|n| t.schema().index_of(n)).collect();
+    t.project(&idx)
+}
+
 /// Compute the output schema of a Map by evaluating over zero rows.
 fn map_schema(t: &Table, outputs: &[MapExpr], params: &[Value]) -> Schema {
     use hsqp_storage::Field;
@@ -616,20 +689,29 @@ fn map_schema(t: &Table, outputs: &[MapExpr], params: &[Value]) -> Schema {
 }
 
 /// Partition bucket of a row: CRC32 over the key attributes (§3.2).
-pub fn row_bucket(key_cols: &[&Column], row: usize, buckets: usize) -> usize {
+///
+/// Keys hash by *logical* value: a fixed-point Decimal column (flagged
+/// `true`) hashes its promoted f64 value, byte-identical to how a Float64
+/// column holding the same value hashes — so the two sides of a mixed
+/// Decimal⋈Float64 join land on the same node when repartitioned.
+pub fn row_bucket(key_cols: &[(&Column, bool)], row: usize, buckets: usize) -> usize {
     let h = if key_cols.len() == 1 {
         match key_cols[0] {
-            Column::I64(v, _) => crc32_i64(v[row]),
-            Column::F64(v, _) => crc32(&v[row].to_le_bytes()),
-            Column::Str(v, _) => crc32(v.get(row).as_bytes()),
+            (Column::I64(v, _), true) => crc32(&decimal_to_f64(v[row]).to_le_bytes()),
+            (Column::I64(v, _), false) => crc32_i64(v[row]),
+            (Column::F64(v, _), _) => crc32(&v[row].to_le_bytes()),
+            (Column::Str(v, _), _) => crc32(v.get(row).as_bytes()),
         }
     } else {
         let mut scratch = Vec::with_capacity(key_cols.len() * 8);
-        for c in key_cols {
-            match c {
-                Column::I64(v, _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
-                Column::F64(v, _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
-                Column::Str(v, _) => scratch.extend_from_slice(v.get(row).as_bytes()),
+        for &(c, promote) in key_cols {
+            match (c, promote) {
+                (Column::I64(v, _), true) => {
+                    scratch.extend_from_slice(&decimal_to_f64(v[row]).to_le_bytes());
+                }
+                (Column::I64(v, _), false) => scratch.extend_from_slice(&v[row].to_le_bytes()),
+                (Column::F64(v, _), _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
+                (Column::Str(v, _), _) => scratch.extend_from_slice(v.get(row).as_bytes()),
             }
         }
         crc32(&scratch)

@@ -7,7 +7,7 @@
 
 use std::ops::Range;
 
-use hsqp_storage::{Bitmap, Column, DataType, StringColumn, Table, Value};
+use hsqp_storage::{decimal_to_f64, Bitmap, Column, DataType, StringColumn, Table, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -525,7 +525,7 @@ fn eval_col(table: &Table, name: &str, range: Range<usize>) -> EvalVec {
         .map(|bm| range.clone().map(|i| bm.get(i)).collect());
     let data = match (column, dtype) {
         (Column::I64(v, _), DataType::Decimal) => {
-            VecData::F64(v[range].iter().map(|&x| x as f64 / 100.0).collect())
+            VecData::F64(v[range].iter().map(|&x| decimal_to_f64(x)).collect())
         }
         (Column::I64(v, _), _) => VecData::I64(v[range].to_vec()),
         (Column::F64(v, _), _) => VecData::F64(v[range].to_vec()),

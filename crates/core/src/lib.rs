@@ -29,6 +29,14 @@
 //! automatically; [`session`] wraps cluster + planner behind one
 //! programmable facade. The hand-written physical plans in [`queries`]
 //! remain as the differential-testing oracle.
+//!
+//! Queries are *submitted*, not merely run:
+//! [`Session::submit`](session::Session::submit) returns a
+//! [`QueryHandle`] and the cluster's dispatcher executes up to
+//! [`max_concurrent`](cluster::ClusterConfig::max_concurrent) queries at
+//! once over the shared multiplexers — every wire message is tagged with
+//! a [`QueryId`], temp relations live in per-query namespaces, and
+//! fabric statistics are accounted per query.
 
 pub mod cluster;
 pub mod error;
@@ -44,9 +52,10 @@ pub mod queries;
 pub mod session;
 pub mod wire;
 
-pub use cluster::{Cluster, ClusterConfig, EngineKind, QueryResult, Transport};
+pub use cluster::{Cluster, ClusterConfig, EngineKind, QueryHandle, QueryResult, Transport};
 pub use error::EngineError;
 pub use expr::Expr;
+pub use hsqp_net::QueryId;
 pub use logical::{JoinStrategy, LogicalPlan};
 pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
 pub use planner::{Planner, PlannerConfig, TableStats};

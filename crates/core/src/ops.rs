@@ -7,8 +7,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
-use hsqp_storage::{Bitmap, Column, DataType, Field, Schema, Table, Value};
+use hsqp_storage::{decimal_to_f64, Bitmap, Column, DataType, Field, Schema, Table, Value};
 
 use crate::expr::{eval, EvalVec, VecData};
 use crate::local::MorselDriver;
@@ -80,27 +81,77 @@ pub fn key_of(columns: &[&Column], row: usize) -> Key {
         .collect()
 }
 
+/// A join-key column plus its canonicalization flag: `true` promotes a
+/// fixed-point Decimal (i64 cents) to its logical f64 value — the same
+/// promotion expression evaluation applies — so a Decimal key equi-joins
+/// against Float64 keys (aggregate outputs, computed expressions) *by
+/// value* instead of silently matching nothing on raw bit patterns.
+pub type JoinKeyCol<'a> = (&'a Column, bool);
+
+/// Resolve the join-key columns of `table`, flagging Decimal columns for
+/// canonical promotion.
+pub fn join_key_cols<'t>(table: &'t Table, key_cols: &[usize]) -> Vec<JoinKeyCol<'t>> {
+    key_cols
+        .iter()
+        .map(|&i| {
+            (
+                table.column(i),
+                table.schema().fields()[i].dtype == DataType::Decimal,
+            )
+        })
+        .collect()
+}
+
+/// Extract the canonicalized join key of row `row`.
+pub fn join_key_of(columns: &[JoinKeyCol<'_>], row: usize) -> Key {
+    columns
+        .iter()
+        .map(|&(c, promote)| {
+            if !c.is_valid(row) {
+                KeyPart::Null
+            } else {
+                match c {
+                    Column::I64(v, _) if promote => {
+                        KeyPart::I64(decimal_to_f64(v[row]).to_bits() as i64)
+                    }
+                    Column::I64(v, _) => KeyPart::I64(v[row]),
+                    Column::F64(v, _) => KeyPart::I64(v[row].to_bits() as i64),
+                    Column::Str(v, _) => KeyPart::Str(v.get(row).into()),
+                }
+            }
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Hash join
 // ---------------------------------------------------------------------------
 
 /// A materialized join hash table over the build side.
+///
+/// Keys are canonicalized by logical type (see [`join_key_of`]), so mixed
+/// Decimal/Float64 key pairs join by value. The build side is held behind
+/// an `Arc` so a shared temp relation (a materialized CTE) can back the
+/// hash table without being deep-copied.
 pub struct JoinTable {
-    build: Table,
+    build: Arc<Table>,
     index: FxMap<Key, Vec<u32>>,
 }
 
 impl JoinTable {
     /// Build the hash table from `build` keyed by `key_cols`.
-    pub fn build(build: Table, key_cols: &[usize]) -> Self {
-        let cols: Vec<&Column> = key_cols.iter().map(|&i| build.column(i)).collect();
+    pub fn build(build: impl Into<Arc<Table>>, key_cols: &[usize]) -> Self {
+        let build = build.into();
         let mut index: FxMap<Key, Vec<u32>> = FxMap::default();
-        for row in 0..build.rows() {
-            let key = key_of(&cols, row);
-            if key.contains(&KeyPart::Null) {
-                continue; // NULL keys never join
+        {
+            let cols = join_key_cols(&build, key_cols);
+            for row in 0..build.rows() {
+                let key = join_key_of(&cols, row);
+                if key.contains(&KeyPart::Null) {
+                    continue; // NULL keys never join
+                }
+                index.entry(key).or_default().push(row as u32);
             }
-            index.entry(key).or_default().push(row as u32);
         }
         Self { build, index }
     }
@@ -149,14 +200,14 @@ pub fn probe_join(
     driver: &MorselDriver,
 ) -> Table {
     let out_schema = join_schema(probe.schema(), table.build.schema(), kind);
-    let cols: Vec<&Column> = probe_key_cols.iter().map(|&i| probe.column(i)).collect();
+    let cols = join_key_cols(probe, probe_key_cols);
 
     let parts = driver.run(
         probe.rows(),
         |_| (Vec::<usize>::new(), Vec::<Option<u32>>::new()),
         |(probe_idx, build_idx), _, m| {
             for row in m.range() {
-                let key = key_of(&cols, row);
+                let key = join_key_of(&cols, row);
                 let matches = if key.contains(&KeyPart::Null) {
                     None
                 } else {
@@ -766,6 +817,33 @@ mod tests {
         assert_eq!(anti.rows(), 197);
         assert_eq!(semi.schema().len(), probe.schema().len());
         assert_eq!(semi.rows() + anti.rows(), probe.rows());
+    }
+
+    #[test]
+    fn decimal_keys_join_float64_keys_by_value() {
+        // Probe: a Decimal column holding 1.00, 2.50, 9.99 as cents.
+        let probe = Table::new(
+            Schema::new(vec![Field::new("cost", DataType::Decimal)]),
+            vec![Column::I64(vec![100, 250, 999], None)],
+        );
+        // Build: Float64 keys as an aggregate (e.g. MIN) would produce them.
+        let build = Table::new(
+            Schema::new(vec![Field::new("min_cost", DataType::Float64)]),
+            vec![Column::F64(vec![2.5, 7.0], None)],
+        );
+        let jt = JoinTable::build(build, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
+        assert_eq!(out.rows(), 1, "2.50 must match the f64 key 2.5");
+        // The surviving probe row keeps its fixed-point representation.
+        assert_eq!(out.value(0, 0), Value::I64(250));
+        // Decimal ⋈ Decimal still joins (both sides canonicalized).
+        let renamed = Table::new(
+            Schema::new(vec![Field::new("c2", DataType::Decimal)]),
+            vec![Column::I64(vec![100, 250, 999], None)],
+        );
+        let jt = JoinTable::build(renamed, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        assert_eq!(out.rows(), 3);
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub enum Plan {
     TempScan {
         /// Name of the materialized relation.
         name: String,
+        /// Columns to keep (None = all). A projected temp scan copies only
+        /// the named columns; an unprojected one shares the materialized
+        /// table without copying.
+        project: Option<Vec<String>>,
     },
     /// Filter rows by a predicate.
     Filter {
@@ -253,6 +257,15 @@ impl Plan {
     pub fn temp_scan(name: &str) -> Plan {
         Plan::TempScan {
             name: name.to_string(),
+            project: None,
+        }
+    }
+
+    /// Scan selected columns of a materialized temporary relation.
+    pub fn temp_scan_cols(name: &str, cols: &[&str]) -> Plan {
+        Plan::TempScan {
+            name: name.to_string(),
+            project: Some(cols.iter().map(|s| s.to_string()).collect()),
         }
     }
 
@@ -365,8 +378,11 @@ impl Plan {
                     out.push_str(" (filtered)");
                 }
             }
-            Plan::TempScan { name } => {
+            Plan::TempScan { name, project } => {
                 let _ = write!(out, "TempScan {name:?}");
+                if let Some(cols) = project {
+                    let _ = write!(out, " [{}]", cols.join(", "));
+                }
             }
             Plan::Filter { .. } => out.push_str("Filter"),
             Plan::Map { outputs, .. } => {

@@ -230,6 +230,7 @@ impl Planner {
     /// result stage — all as [`EngineError::Planner`].
     pub fn plan_query(&self, query: &LogicalQuery) -> Result<Query, EngineError> {
         let mut p = self.clone();
+        let requirements = self.cte_requirements(query)?;
         let mut stages: Vec<QueryStage> = Vec::new();
         for (name, plan) in query.ctes() {
             if p.ctes.contains_key(name) {
@@ -241,12 +242,36 @@ impl Planner {
                      materialized before any parameter stage runs"
                 ));
             }
+            // Prune the materialization to the union of its consumers'
+            // required columns: temps stop carrying attributes no stage
+            // reads (e.g. Q2's "candidates" dragging s_comment into the
+            // min-cost aggregate).
+            let plan = match requirements.get(name) {
+                Some(Some(req)) => {
+                    let full = p.logical_columns(plan)?;
+                    let mut keep: Vec<&str> = full
+                        .iter()
+                        .filter(|c| req.contains(*c))
+                        .map(String::as_str)
+                        .collect();
+                    if keep.is_empty() {
+                        // Consumed only for row counts: keep one column.
+                        keep.push(full[0].as_str());
+                    }
+                    if keep.len() < full.len() {
+                        std::borrow::Cow::Owned(plan.clone().project(&keep))
+                    } else {
+                        std::borrow::Cow::Borrowed(plan)
+                    }
+                }
+                _ => std::borrow::Cow::Borrowed(plan),
+            };
             let Lowered {
                 plan: lowered,
                 cols,
                 part,
                 est,
-            } = p.lower(plan, None)?;
+            } = p.lower(&plan, None)?;
             // Materialize small CTE results on every node; leave larger
             // ones distributed the way the plan produced them (partitioned
             // temp tables keep their partitioning property for reuse).
@@ -363,6 +388,135 @@ impl Planner {
         }
     }
 
+    // -- CTE requirement analysis -------------------------------------------
+
+    /// Union of the columns each CTE's consumers require, keyed by CTE
+    /// name. `None` means at least one consumer needs every column (or the
+    /// requirement cannot be narrowed). Mirrors the `required` propagation
+    /// of [`lower`](Self::lower), so the materialization is always a
+    /// superset of what any individual `CteScan` will project.
+    fn cte_requirements(
+        &self,
+        query: &LogicalQuery,
+    ) -> Result<BTreeMap<String, Option<BTreeSet<String>>>, EngineError> {
+        // Resolve CTE output columns (registration order, so later CTEs
+        // can reference earlier ones) for join-side column splitting.
+        let mut p = self.clone();
+        for (name, plan) in query.ctes() {
+            if p.ctes.contains_key(name) {
+                return planner_err(format!("duplicate CTE name {name:?}"));
+            }
+            let cols = p.logical_columns(plan)?;
+            p.ctes.insert(
+                name.clone(),
+                CteInfo {
+                    cols,
+                    part: Part::Any,
+                    est: 0.0,
+                },
+            );
+        }
+        let mut out: BTreeMap<String, Option<BTreeSet<String>>> = BTreeMap::new();
+        for stage in query.stages() {
+            p.collect_cte_required(stage, None, &mut out)?;
+        }
+        // CTEs in reverse registration order: a CTE can only be consumed
+        // by stages and *later* CTEs, so by the time we analyze its own
+        // plan every consumer (and thus its final pruned width) is known.
+        for (name, plan) in query.ctes().iter().rev() {
+            let required = out.get(name).cloned().unwrap_or(None);
+            p.collect_cte_required(plan, required.as_ref(), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Walk `node` accumulating, per referenced CTE, the union of columns
+    /// required of it — threading `required` top-down exactly like
+    /// [`lower`](Self::lower) does.
+    fn collect_cte_required(
+        &self,
+        node: &LogicalPlan,
+        required: Option<&BTreeSet<String>>,
+        out: &mut BTreeMap<String, Option<BTreeSet<String>>>,
+    ) -> Result<(), EngineError> {
+        match node {
+            LogicalPlan::Scan { .. } => Ok(()),
+            LogicalPlan::CteScan { name } => {
+                match (
+                    out.entry(name.clone())
+                        .or_insert_with(|| Some(BTreeSet::new())),
+                    required,
+                ) {
+                    (Some(set), Some(req)) => set.extend(req.iter().cloned()),
+                    (slot, None) => *slot = None,
+                    (None, _) => {}
+                }
+                Ok(())
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let child = required.map(|r| {
+                    let mut r = r.clone();
+                    r.extend(predicate.columns());
+                    r
+                });
+                self.collect_cte_required(input, child.as_ref(), out)
+            }
+            LogicalPlan::Project { input, outputs } => {
+                let mut child = BTreeSet::new();
+                for o in outputs {
+                    child.extend(o.expr.columns());
+                }
+                self.collect_cte_required(input, Some(&child), out)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let (lreq, rreq) = match required {
+                    None => (None, None),
+                    Some(req) => {
+                        let lcols: BTreeSet<String> =
+                            self.logical_columns(left)?.into_iter().collect();
+                        let rcols: BTreeSet<String> =
+                            self.logical_columns(right)?.into_iter().collect();
+                        let mut lr: BTreeSet<String> =
+                            req.iter().filter(|c| lcols.contains(*c)).cloned().collect();
+                        lr.extend(left_keys.iter().cloned());
+                        let mut rr: BTreeSet<String> =
+                            req.iter().filter(|c| rcols.contains(*c)).cloned().collect();
+                        rr.extend(right_keys.iter().cloned());
+                        (Some(lr), Some(rr))
+                    }
+                };
+                self.collect_cte_required(left, lreq.as_ref(), out)?;
+                self.collect_cte_required(right, rreq.as_ref(), out)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let mut child: BTreeSet<String> = group_by.iter().cloned().collect();
+                for a in aggs {
+                    child.extend(a.expr.columns());
+                }
+                self.collect_cte_required(input, Some(&child), out)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let child = required.map(|r| {
+                    let mut r = r.clone();
+                    r.extend(keys.iter().map(|k| k.column.clone()));
+                    r
+                });
+                self.collect_cte_required(input, child.as_ref(), out)
+            }
+            LogicalPlan::Limit { input, .. } => self.collect_cte_required(input, required, out),
+        }
+    }
+
     // -- lowering -----------------------------------------------------------
 
     /// Lower one node. `required` is the set of output columns the parent
@@ -381,15 +535,44 @@ impl Planner {
                         "unknown CTE {name:?} (register it with LogicalQuery::with)"
                     ))
                 })?;
-                // Temp relations are materialized already pruned (the CTE
-                // plan itself went through scan pruning), so `required` is
-                // not applied here.
-                Ok(Lowered {
-                    plan: Plan::temp_scan(name),
-                    cols: info.cols.clone(),
-                    part: info.part.clone(),
-                    est: info.est,
-                })
+                // The temp is materialized with the *union* of all
+                // consumers' columns; each individual scan additionally
+                // prunes to what its own consumer needs, so a wide column
+                // never rides through exchanges that do not use it.
+                let keep: Vec<String> = match required {
+                    Some(req) => {
+                        let mut keep: Vec<String> = info
+                            .cols
+                            .iter()
+                            .filter(|c| req.contains(*c))
+                            .cloned()
+                            .collect();
+                        if keep.is_empty() {
+                            // Column-free consumer (count(*)): keep one.
+                            keep.push(info.cols[0].clone());
+                        }
+                        keep
+                    }
+                    None => info.cols.clone(),
+                };
+                if keep.len() == info.cols.len() {
+                    Ok(Lowered {
+                        plan: Plan::temp_scan(name),
+                        cols: info.cols.clone(),
+                        part: info.part.clone(),
+                        est: info.est,
+                    })
+                } else {
+                    Ok(Lowered {
+                        plan: Plan::TempScan {
+                            name: name.clone(),
+                            project: Some(keep.clone()),
+                        },
+                        part: prune_part(info.part.clone(), &keep),
+                        est: info.est,
+                        cols: keep,
+                    })
+                }
             }
             LogicalPlan::Filter { input, predicate } => {
                 if let LogicalPlan::Scan { table } = &**input {
@@ -1319,6 +1502,94 @@ mod tests {
         // Join repartitions both sides; the rename preserves the property,
         // so the aggregate stays local (no third repartition).
         assert_eq!(repartitions(&plan), 2);
+    }
+
+    #[test]
+    fn cte_materialization_pruned_to_union_of_consumers() {
+        use crate::logical::LogicalQuery;
+        // One consumer needs (s_suppkey, s_nationkey, s_acctbal), the other
+        // only s_nationkey; the materialization must carry exactly the
+        // union, and the narrow consumer's TempScan projects further.
+        let narrow = LogicalPlan::from_cte("supp").aggregate(
+            &["s_nationkey"],
+            vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")],
+        );
+        let result = LogicalPlan::from_cte("supp")
+            .project(&["s_suppkey", "s_nationkey", "s_acctbal"])
+            .join(
+                narrow,
+                &["s_nationkey"],
+                &["s_nationkey"],
+                JoinKind::LeftSemi,
+            );
+        let q = LogicalQuery::cte("supp", LogicalPlan::scan(TpchTable::Supplier)).then(result);
+        let physical = planner(2).plan_query(&q).unwrap();
+
+        fn find<'p>(p: &'p Plan, pred: &dyn Fn(&Plan) -> bool) -> Option<&'p Plan> {
+            if pred(p) {
+                return Some(p);
+            }
+            p.children().iter().find_map(|c| find(c, pred))
+        }
+        // Materialize stage: the supplier scan keeps only the union.
+        let scan = find(&physical.stages[0].plan, &|p| {
+            matches!(p, Plan::Scan { .. })
+        })
+        .expect("scan in materialize stage");
+        let Plan::Scan { project, .. } = scan else {
+            unreachable!()
+        };
+        assert_eq!(
+            project.as_deref(),
+            Some(
+                &[
+                    "s_suppkey".to_string(),
+                    "s_nationkey".to_string(),
+                    "s_acctbal".to_string()
+                ][..]
+            ),
+            "materialization must carry exactly the consumers' union"
+        );
+        // Result stage: the aggregate consumer's TempScan projects to its
+        // own single column.
+        let narrow_scan = find(&physical.stages[1].plan, &|p| {
+            matches!(
+                p,
+                Plan::TempScan {
+                    project: Some(_),
+                    ..
+                }
+            )
+        })
+        .expect("projected TempScan for the narrow consumer");
+        let Plan::TempScan { project, .. } = narrow_scan else {
+            unreachable!()
+        };
+        assert_eq!(project.as_deref(), Some(&["s_nationkey".to_string()][..]));
+    }
+
+    #[test]
+    fn unpruned_cte_scans_share_without_projection() {
+        use crate::logical::LogicalQuery;
+        // A consumer that needs every CTE column gets a bare TempScan
+        // (shared, no copy) rather than a projected one.
+        let q = LogicalQuery::cte(
+            "nations",
+            LogicalPlan::scan(TpchTable::Nation).project(&["n_nationkey", "n_name"]),
+        )
+        .then(LogicalPlan::from_cte("nations").sort(vec![SortKey::asc("n_name")]));
+        let physical = planner(2).plan_query(&q).unwrap();
+        fn temp_scans(p: &Plan, out: &mut Vec<Option<Vec<String>>>) {
+            if let Plan::TempScan { project, .. } = p {
+                out.push(project.clone());
+            }
+            for c in p.children() {
+                temp_scans(c, out);
+            }
+        }
+        let mut scans = Vec::new();
+        temp_scans(&physical.stages[1].plan, &mut scans);
+        assert_eq!(scans, vec![None]);
     }
 
     #[test]

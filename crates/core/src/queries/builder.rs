@@ -13,7 +13,7 @@
 //! hand-written plans remain purely the differential-testing oracle:
 //! `tests/planner_differential.rs` asserts both produce identical results.
 
-use hsqp_storage::{date_from_ymd, DataType};
+use hsqp_storage::date_from_ymd;
 use hsqp_tpch::TpchTable;
 
 use super::Q22_CODES;
@@ -325,12 +325,12 @@ fn q2() -> LogicalQuery {
         .project(&["p_partkey", "p_mfgr"]);
     let candidates = LogicalPlan::scan(TpchTable::Partsupp)
         .join(eur_supp, &["ps_suppkey"], &["s_suppkey"], JoinKind::Inner)
-        // The cost must become a float so it can equi-join against the
-        // MIN() aggregate (same doubles, bit-identical) — an explicit
-        // cast, since bare column references keep their Decimal type.
+        // The cost stays a Decimal; join keys are canonicalized by logical
+        // type, so it equi-joins against the Float64 MIN() aggregate by
+        // value (no explicit cast needed).
         .select(vec![
             MapExpr::new("ps_partkey", col("ps_partkey")),
-            MapExpr::typed("cost", col("ps_supplycost"), DataType::Float64),
+            MapExpr::new("cost", col("ps_supplycost")),
             MapExpr::new("s_acctbal", col("s_acctbal")),
             MapExpr::new("s_name", col("s_name")),
             MapExpr::new("n_name", col("n_name")),

@@ -2,7 +2,7 @@
 //! 21, 22 — manually decorrelated into joins, aggregations, and parameter
 //! stages, the way HyPer's unnesting rewrites them.
 
-use hsqp_storage::{date_from_ymd, DataType};
+use hsqp_storage::date_from_ymd;
 use hsqp_tpch::TpchTable;
 
 use super::helpers::{dist_agg, dist_agg_nopre, global_agg};
@@ -59,12 +59,12 @@ fn q2_eur_partsupp() -> Plan {
         &["s_suppkey"],
         JoinKind::Inner,
     )
-    // The cost must become a float so it can equi-join against the
-    // MIN() aggregate below (same doubles, bit-identical) — an explicit
-    // cast, since bare column references keep their Decimal type.
+    // The cost stays a Decimal; join keys are canonicalized by logical
+    // type, so it equi-joins against the Float64 MIN() aggregate below by
+    // value (no explicit cast needed).
     .map(vec![
         MapExpr::new("ps_partkey", col("ps_partkey")),
-        MapExpr::typed("cost", col("ps_supplycost"), DataType::Float64),
+        MapExpr::new("cost", col("ps_supplycost")),
         MapExpr::new("s_acctbal", col("s_acctbal")),
         MapExpr::new("s_name", col("s_name")),
         MapExpr::new("n_name", col("n_name")),

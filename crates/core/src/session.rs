@@ -29,7 +29,7 @@
 
 use hsqp_tpch::TpchDb;
 
-use crate::cluster::{Cluster, ClusterConfig, EngineKind, QueryResult, Transport};
+use crate::cluster::{Cluster, ClusterConfig, EngineKind, QueryHandle, QueryResult, Transport};
 use crate::error::EngineError;
 use crate::logical::{LogicalPlan, LogicalQuery};
 use crate::plan::Plan;
@@ -83,6 +83,13 @@ impl SessionBuilder {
     /// Tuple bytes per network message (default 32 KiB).
     pub fn message_capacity(mut self, bytes: usize) -> Self {
         self.cfg.message_capacity = bytes;
+        self
+    }
+
+    /// Queries the session runs concurrently (default 4); further
+    /// [`submit`](Session::submit)ted queries queue for a slot.
+    pub fn max_concurrent(mut self, queries: u16) -> Self {
+        self.cfg.max_concurrent = queries;
         self
     }
 
@@ -162,7 +169,8 @@ impl Session {
         self.planner().plan_query(&query.into())
     }
 
-    /// Plan and execute a query, returning the coordinator's result.
+    /// Submit a query for concurrent execution, returning a
+    /// [`QueryHandle`] immediately.
     ///
     /// Accepts anything convertible into a [`LogicalQuery`]: a single
     /// [`LogicalPlan`] (by value or reference) runs as a one-stage query,
@@ -170,15 +178,37 @@ impl Session {
     /// [`stage`](LogicalQuery::stage) / [`with`](LogicalQuery::with) /
     /// [`then`](LogicalQuery::then) runs its CTE materializations and
     /// scalar parameter stages before the result stage.
-    pub fn run(&self, query: impl Into<LogicalQuery>) -> Result<QueryResult, EngineError> {
+    ///
+    /// Up to [`max_concurrent`](SessionBuilder::max_concurrent) submitted
+    /// queries execute at once over the shared exchange fabric — every
+    /// wire message and temp relation is tagged with the query's id, so
+    /// overlapping queries stay fully isolated. The handle exposes
+    /// [`wait`](QueryHandle::wait), [`try_result`](QueryHandle::try_result),
+    /// [`cancel`](QueryHandle::cancel), and live per-query fabric
+    /// statistics ([`net_stats`](QueryHandle::net_stats)).
+    pub fn submit(&self, query: impl Into<LogicalQuery>) -> Result<QueryHandle, EngineError> {
         let physical = self.planner().plan_query(&query.into())?;
-        self.cluster.run(&physical)
+        self.cluster.submit(&physical)
     }
 
-    /// Execute a hand-written physical [`Query`] (the differential-testing
-    /// oracle and the escape hatch for plans the planner cannot express).
+    /// Submit a hand-written physical [`Query`] for concurrent execution
+    /// (the differential-testing oracle and the escape hatch for plans the
+    /// planner cannot express).
+    pub fn submit_physical(&self, query: &Query) -> Result<QueryHandle, EngineError> {
+        self.cluster.submit(query)
+    }
+
+    /// Plan and execute a query, returning the coordinator's result —
+    /// blocking sugar for [`submit`](Self::submit) followed by
+    /// [`QueryHandle::wait`].
+    pub fn run(&self, query: impl Into<LogicalQuery>) -> Result<QueryResult, EngineError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Execute a hand-written physical [`Query`] to completion (blocking
+    /// sugar for [`submit_physical`](Self::submit_physical)).
     pub fn run_query(&self, query: &Query) -> Result<QueryResult, EngineError> {
-        self.cluster.run(query)
+        self.submit_physical(query)?.wait()
     }
 
     /// The underlying cluster (fabric statistics, explicit table loading).

@@ -39,5 +39,5 @@ pub use fabric::{Fabric, FabricConfig, NodeId};
 pub use link::LinkSpec;
 pub use rdma::{CompletionMode, RdmaConfig, RdmaEndpoint, RdmaNetwork};
 pub use sched::{NetScheduler, Schedule};
-pub use stats::NetStats;
+pub use stats::{NetStats, QueryId, QueryNetStats, QueryStatsRegistry};
 pub use tcp::{IpoibMode, TcpConfig, TcpEndpoint, TcpNetwork};

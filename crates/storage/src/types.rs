@@ -99,6 +99,18 @@ impl fmt::Display for Value {
     }
 }
 
+/// The logical value of a fixed-point Decimal stored as i64 cents
+/// (scale 100).
+///
+/// This is *the* canonical promotion: expression evaluation, join-key
+/// hashing, partition hashing, and scalar-parameter binding must all use
+/// it, or a Decimal promoted along one path will fail to equal the same
+/// value promoted along another (which is how Decimal⋈Float64 joins once
+/// silently matched nothing).
+pub fn decimal_to_f64(cents: i64) -> f64 {
+    cents as f64 / 100.0
+}
+
 /// Days since 1970-01-01 for a proleptic Gregorian calendar date.
 ///
 /// Uses Howard Hinnant's `days_from_civil` algorithm.

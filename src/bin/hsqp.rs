@@ -7,8 +7,15 @@
 //! timings as JSON. CI's bench-smoke job runs this at SF 0.01 on 4 nodes
 //! and archives the output next to future benchmark trajectories.
 //!
+//! With `--clients N [--rounds R]` the driver switches to a closed-loop
+//! multi-client throughput mode: N client threads each submit the query
+//! set R times through the concurrent `Session::submit` path, and the
+//! JSON report adds queries/hour plus per-query latency percentiles —
+//! the first concurrency benchmark trajectory.
+//!
 //! ```bash
 //! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --output timings.json
+//! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --clients 4 --rounds 3
 //! ```
 
 use std::fmt::Write as _;
@@ -46,6 +53,12 @@ OPTIONS:
     --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
     --engine <E>           hybrid | classic (default hybrid)
     --message-kb <N>       Tuple bytes per network message in KiB (default 32)
+    --clients <N>          Closed-loop client threads (default 1). With
+                           N > 1 (or --rounds > 1) the driver runs a
+                           multi-client throughput benchmark over the
+                           concurrent submission API and reports
+                           queries/hour + latency percentiles
+    --rounds <R>           Passes over the query set per client (default 1)
     --output <PATH>        Also write the JSON report to PATH
     -h, --help             Show this help
 ";
@@ -75,6 +88,8 @@ struct Args {
     transport: String,
     engine: String,
     message_kb: usize,
+    clients: u16,
+    rounds: u32,
     output: Option<String>,
 }
 
@@ -89,6 +104,8 @@ fn parse_args() -> Result<Args, String> {
         transport: "rdma".to_string(),
         engine: "hybrid".to_string(),
         message_kb: 32,
+        clients: 1,
+        rounds: 1,
         output: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -165,6 +182,17 @@ fn parse_args() -> Result<Args, String> {
                     format!("--message-kb must be a positive integer (≥ 1 KiB), got {value:?}")
                 })?;
             }
+            "--clients" => {
+                args.clients = value.parse().ok().filter(|&c| c >= 1).ok_or_else(|| {
+                    format!("--clients must be a positive integer, got {value:?}")
+                })?;
+            }
+            "--rounds" => {
+                args.rounds =
+                    value.parse().ok().filter(|&r| r >= 1).ok_or_else(|| {
+                        format!("--rounds must be a positive integer, got {value:?}")
+                    })?;
+            }
             "--output" => {
                 args.output = Some(value.clone());
             }
@@ -193,6 +221,7 @@ fn cluster_config(args: &Args) -> Result<ClusterConfig, String> {
         engine,
         numa_cost_ns: 0.0,
         message_capacity: args.message_kb * 1024,
+        max_concurrent: args.clients,
         ..ClusterConfig::paper(args.nodes)
     })
 }
@@ -270,6 +299,282 @@ fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
     Ok(())
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One client's observation of one query execution.
+struct Observation {
+    query: u32,
+    ms: f64,
+    rows: usize,
+    bytes_shuffled: u64,
+}
+
+/// A started cluster with TPC-H loaded, plus the setup timings both run
+/// modes report.
+struct Bench {
+    cluster: Cluster,
+    gen_ms: f64,
+    load_ms: f64,
+}
+
+/// Generate TPC-H at the requested scale factor, start the cluster, and
+/// distribute the data (shared by the serial and throughput modes).
+fn start_loaded_cluster(
+    args: &Args,
+    cfg: ClusterConfig,
+    banner_suffix: &str,
+) -> Result<Bench, String> {
+    eprintln!(
+        "generating TPC-H SF {} and starting {}-node cluster \
+         ({} transport, {} engine, {} plans{banner_suffix})",
+        args.sf,
+        args.nodes,
+        args.transport,
+        args.engine,
+        args.plan_mode.name(),
+    );
+    let gen_started = Instant::now();
+    let db = TpchDb::generate(args.sf);
+    let gen_ms = gen_started.elapsed().as_secs_f64() * 1e3;
+
+    let cluster = Cluster::start(cfg).map_err(|e| format!("cluster start failed: {e}"))?;
+    let load_started = Instant::now();
+    cluster
+        .load_tpch_db(db)
+        .map_err(|e| format!("load failed: {e}"))?;
+    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    Ok(Bench {
+        cluster,
+        gen_ms,
+        load_ms,
+    })
+}
+
+/// Build the physical plan for each requested query once, in the selected
+/// plan mode.
+fn plan_queries(
+    args: &Args,
+    planner: &Planner,
+    queries: &[u32],
+) -> Result<Vec<(u32, Query)>, String> {
+    queries
+        .iter()
+        .map(|&n| {
+            let query = match args.plan_mode {
+                PlanMode::Handwritten => tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+                PlanMode::Builder => {
+                    let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
+                    planner
+                        .plan_query(&logical)
+                        .map_err(|e| format!("query {n}: {e}"))?
+                }
+            };
+            Ok((n, query))
+        })
+        .collect()
+}
+
+/// The JSON report fields shared by both run modes (configuration and
+/// setup timings) — one writer so the two reports cannot drift.
+fn report_header(args: &Args, gen_ms: f64, load_ms: f64) -> String {
+    let mut report = String::from("{\n");
+    let _ = writeln!(report, "  \"sf\": {},", args.sf);
+    let _ = writeln!(report, "  \"nodes\": {},", args.nodes);
+    let _ = writeln!(report, "  \"workers_per_node\": {},", args.workers);
+    let _ = writeln!(
+        report,
+        "  \"transport\": \"{}\",",
+        json_escape(&args.transport)
+    );
+    let _ = writeln!(report, "  \"engine\": \"{}\",", json_escape(&args.engine));
+    let _ = writeln!(report, "  \"plan_mode\": \"{}\",", args.plan_mode.name());
+    let _ = writeln!(report, "  \"generate_ms\": {gen_ms:.3},");
+    let _ = writeln!(report, "  \"load_ms\": {load_ms:.3},");
+    report
+}
+
+/// Print the report to stdout and, with `--output`, write it to a file.
+fn emit_report(report: &str, output: &Option<String>) -> Result<(), String> {
+    println!("{report}");
+    if let Some(path) = output {
+        std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Closed-loop multi-client throughput benchmark: `--clients` threads each
+/// run `--rounds` passes over the query set through the concurrent
+/// submission API, sharing one cluster whose dispatcher admits up to
+/// `--clients` queries at once.
+fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<(), String> {
+    let bench = start_loaded_cluster(
+        args,
+        cfg,
+        &format!(", {} clients x {} rounds", args.clients, args.rounds),
+    )?;
+    let cluster = &bench.cluster;
+
+    // Plan every query once up front: all clients submit identical
+    // physical plans, so row-count differences can only come from the
+    // concurrent execution path.
+    let planner = Planner::for_cluster(cluster);
+    let plans = plan_queries(args, &planner, queries)?;
+
+    let wall_started = Instant::now();
+    let client_results: Vec<(Vec<Observation>, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let plans = &plans;
+                scope.spawn(move || {
+                    let mut obs = Vec::new();
+                    let mut errors = Vec::new();
+                    for _ in 0..args.rounds {
+                        for (n, query) in plans {
+                            let started = Instant::now();
+                            match cluster.submit(query).and_then(|h| h.wait()) {
+                                Ok(result) => obs.push(Observation {
+                                    query: *n,
+                                    ms: started.elapsed().as_secs_f64() * 1e3,
+                                    rows: result.row_count(),
+                                    bytes_shuffled: result.bytes_shuffled,
+                                }),
+                                Err(e) => errors.push(format!("Q{n}: {e}")),
+                            }
+                        }
+                    }
+                    (obs, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_ms = wall_started.elapsed().as_secs_f64() * 1e3;
+    bench.cluster.shutdown();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut all: Vec<Observation> = Vec::new();
+    for (obs, errors) in client_results {
+        all.extend(obs);
+        failures.extend(errors);
+    }
+
+    // Per-query digest; row counts must agree across every client and
+    // round — a mismatch means concurrent execution corrupted a result.
+    let mut lines = Vec::new();
+    for &n in queries {
+        let of_q: Vec<&Observation> = all.iter().filter(|o| o.query == n).collect();
+        if of_q.is_empty() {
+            continue;
+        }
+        let rows = of_q[0].rows;
+        if let Some(bad) = of_q.iter().find(|o| o.rows != rows) {
+            failures.push(format!(
+                "Q{n}: row counts diverged across clients ({rows} vs {})",
+                bad.rows
+            ));
+        }
+        let mut ms: Vec<f64> = of_q.iter().map(|o| o.ms).collect();
+        ms.sort_by(f64::total_cmp);
+        let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        let bytes = of_q.iter().map(|o| o.bytes_shuffled).max().unwrap_or(0);
+        eprintln!(
+            "Q{n:<2} {mean:>10.2} ms mean  {:>10.2} ms p99  {rows:>8} rows  x{}",
+            percentile(&ms, 0.99),
+            ms.len()
+        );
+        lines.push(format!(
+            "    {{\"query\": {n}, \"rows\": {rows}, \"ms\": {}, \"ms_p50\": {}, \
+             \"ms_p99\": {}, \"executions\": {}, \"bytes_shuffled\": {bytes}}}",
+            json_f64(mean),
+            json_f64(percentile(&ms, 0.5)),
+            json_f64(percentile(&ms, 0.99)),
+            ms.len()
+        ));
+    }
+    for f in &failures {
+        lines.push(format!("    {{\"error\": \"{}\"}}", json_escape(f)));
+        eprintln!("FAILED: {f}");
+    }
+
+    let mut latencies: Vec<f64> = all.iter().map(|o| o.ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let queries_per_hour = if wall_ms > 0.0 {
+        all.len() as f64 * 3_600_000.0 / wall_ms
+    } else {
+        f64::NAN
+    };
+
+    let mut report = report_header(args, bench.gen_ms, bench.load_ms);
+    let _ = writeln!(report, "  \"clients\": {},", args.clients);
+    let _ = writeln!(report, "  \"rounds\": {},", args.rounds);
+    let _ = writeln!(report, "  \"failures\": {},", failures.len());
+    let _ = writeln!(report, "  \"throughput\": {{");
+    let _ = writeln!(report, "    \"wall_ms\": {wall_ms:.3},");
+    let _ = writeln!(report, "    \"total_queries\": {},", all.len());
+    let _ = writeln!(
+        report,
+        "    \"queries_per_hour\": {},",
+        json_f64(queries_per_hour)
+    );
+    let _ = writeln!(report, "    \"latency_ms\": {{");
+    let _ = writeln!(
+        report,
+        "      \"p50\": {},",
+        json_f64(percentile(&latencies, 0.5))
+    );
+    let _ = writeln!(
+        report,
+        "      \"p90\": {},",
+        json_f64(percentile(&latencies, 0.9))
+    );
+    let _ = writeln!(
+        report,
+        "      \"p99\": {},",
+        json_f64(percentile(&latencies, 0.99))
+    );
+    let _ = writeln!(
+        report,
+        "      \"max\": {}",
+        json_f64(latencies.last().copied().unwrap_or(f64::NAN))
+    );
+    let _ = writeln!(report, "    }}");
+    let _ = writeln!(report, "  }},");
+    let _ = writeln!(report, "  \"queries\": [");
+    report.push_str(&lines.join(",\n"));
+    report.push_str("\n  ]\n}\n");
+
+    eprintln!(
+        "{} queries in {:.0} ms -> {:.0} queries/hour",
+        all.len(),
+        wall_ms,
+        queries_per_hour
+    );
+    emit_report(&report, &args.output)?;
+    if !failures.is_empty() {
+        return Err(format!("{} executions failed", failures.len()));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let cfg = cluster_config(&args)?;
@@ -283,43 +588,22 @@ fn run() -> Result<(), String> {
         return explain(&args, &queries);
     }
 
-    eprintln!(
-        "generating TPC-H SF {} and starting {}-node cluster ({} transport, {} engine, {} plans)",
-        args.sf,
-        args.nodes,
-        args.transport,
-        args.engine,
-        args.plan_mode.name()
-    );
-    let gen_started = Instant::now();
-    let db = TpchDb::generate(args.sf);
-    let gen_ms = gen_started.elapsed().as_secs_f64() * 1e3;
+    if args.clients > 1 || args.rounds > 1 {
+        return run_throughput(&args, cfg, &queries);
+    }
 
-    let cluster = Cluster::start(cfg).map_err(|e| format!("cluster start failed: {e}"))?;
-    let load_started = Instant::now();
-    cluster
-        .load_tpch_db(db)
-        .map_err(|e| format!("load failed: {e}"))?;
-    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    let bench = start_loaded_cluster(&args, cfg, "")?;
+    let cluster = &bench.cluster;
 
-    let planner = Planner::for_cluster(&cluster);
+    let planner = Planner::for_cluster(cluster);
+    let plans = plan_queries(&args, &planner, &queries)?;
     let mut lines = Vec::new();
     let mut total_ms = 0.0f64;
     let mut log_sum = 0.0f64;
     let mut failures = 0u32;
-    for &n in &queries {
-        let result: Result<QueryResult, _> = match args.plan_mode {
-            PlanMode::Handwritten => {
-                let query = tpch_query(n).map_err(|e| format!("query {n}: {e}"))?;
-                cluster.run(&query)
-            }
-            PlanMode::Builder => {
-                let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
-                planner
-                    .plan_query(&logical)
-                    .and_then(|query| cluster.run(&query))
-            }
-        };
+    for (n, query) in &plans {
+        let n = *n;
+        let result: Result<QueryResult, _> = cluster.run(query);
         match result {
             Ok(result) => {
                 let ms = result.elapsed.as_secs_f64() * 1e3;
@@ -353,22 +637,9 @@ fn run() -> Result<(), String> {
     } else {
         (log_sum / queries.len() as f64).exp()
     };
-    cluster.shutdown();
+    bench.cluster.shutdown();
 
-    let mut report = String::new();
-    report.push_str("{\n");
-    let _ = writeln!(report, "  \"sf\": {},", args.sf);
-    let _ = writeln!(report, "  \"nodes\": {},", args.nodes);
-    let _ = writeln!(report, "  \"workers_per_node\": {},", args.workers);
-    let _ = writeln!(
-        report,
-        "  \"transport\": \"{}\",",
-        json_escape(&args.transport)
-    );
-    let _ = writeln!(report, "  \"engine\": \"{}\",", json_escape(&args.engine));
-    let _ = writeln!(report, "  \"plan_mode\": \"{}\",", args.plan_mode.name());
-    let _ = writeln!(report, "  \"generate_ms\": {gen_ms:.3},");
-    let _ = writeln!(report, "  \"load_ms\": {load_ms:.3},");
+    let mut report = report_header(&args, bench.gen_ms, bench.load_ms);
     let _ = writeln!(report, "  \"total_ms\": {total_ms:.3},");
     if geomean_ms.is_finite() {
         let _ = writeln!(report, "  \"geomean_ms\": {geomean_ms:.3},");
@@ -380,11 +651,7 @@ fn run() -> Result<(), String> {
     report.push_str(&lines.join(",\n"));
     report.push_str("\n  ]\n}\n");
 
-    println!("{report}");
-    if let Some(path) = &args.output {
-        std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    emit_report(&report, &args.output)?;
     if failures > 0 {
         return Err(format!("{failures} queries failed"));
     }

@@ -236,6 +236,52 @@ fn driver_2node_sf001_emits_wellformed_json() {
 }
 
 #[test]
+fn driver_clients_mode_reports_throughput_and_matching_rows() {
+    let sf = 0.005;
+    let out = Command::new(env!("CARGO_BIN_EXE_hsqp"))
+        .args([
+            "--sf",
+            "0.005",
+            "--nodes",
+            "2",
+            "--queries",
+            "1,2,6",
+            "--clients",
+            "2",
+            "--rounds",
+            "2",
+        ])
+        .output()
+        .expect("driver ran");
+    assert!(
+        out.status.success(),
+        "clients mode failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = parse_json(&String::from_utf8(out.stdout).expect("utf8 stdout"));
+    assert_eq!(report.get("clients").num(), 2.0);
+    assert_eq!(report.get("rounds").num(), 2.0);
+    assert_eq!(report.get("failures").num(), 0.0);
+    let tp = report.get("throughput");
+    // 2 clients x 2 rounds x 3 queries, all succeeding.
+    assert_eq!(tp.get("total_queries").num(), 12.0);
+    assert!(tp.get("queries_per_hour").num() > 0.0);
+    assert!(tp.get("latency_ms").get("p50").num() > 0.0);
+    assert!(
+        tp.get("latency_ms").get("p99").num() >= tp.get("latency_ms").get("p50").num(),
+        "p99 must dominate p50"
+    );
+    let queries = report.get("queries").arr();
+    assert_eq!(queries.len(), 3);
+    assert_eq!(queries[0].get("executions").num(), 4.0);
+    assert_eq!(
+        queries[0].get("rows").num() as usize,
+        oracle_q1_rows(sf),
+        "concurrent row count for Q1 must match the library oracle"
+    );
+}
+
+#[test]
 fn driver_rejects_bad_flags() {
     for args in [
         &["--sf", "0"][..],
@@ -247,6 +293,9 @@ fn driver_rejects_bad_flags() {
         &["--queries", "23"][..],
         &["--queries", ""][..],
         &["--message-kb", "0"][..],
+        &["--clients", "0"][..],
+        &["--rounds", "0"][..],
+        &["--clients", "many"][..],
         &["--plan-mode", "telepathy"][..],
         // Out-of-range query numbers must be usage errors in builder mode
         // too, not a panic deep in the engine.

@@ -78,6 +78,71 @@ fn builder_matches_handwritten_on_4_nodes() {
     builder_matches_handwritten_on(4);
 }
 
+/// Regression: a fixed-point Decimal key equi-joined against a Float64 key
+/// (e.g. an aggregate output) must match by value, in the hash join *and*
+/// in the partition hashing a forced repartition exercises. Before join
+/// keys were canonicalized by logical type this silently returned zero
+/// rows (i64 cents vs f64 bits), which is why Q2 needed an explicit
+/// `MapExpr::typed` cast.
+#[test]
+fn decimal_joins_float64_keys_across_repartition() {
+    use hsqp::engine::logical::JoinStrategy;
+    use hsqp::engine::plan::JoinKind;
+    let cluster = Cluster::start(ClusterConfig::quick(3)).unwrap();
+    cluster.load_tpch_db(TpchDb::generate(0.002)).unwrap();
+    let planner = Planner::for_cluster(&cluster);
+
+    // MIN(ps_supplycost) per part is a Float64 column; ps_supplycost is a
+    // Decimal. Joining partsupp back on (partkey, cost) keeps exactly the
+    // rows achieving their part's minimum — at least one per part.
+    let min_cost = LogicalPlan::scan(TpchTable::Partsupp)
+        .aggregate(
+            &["ps_partkey"],
+            vec![AggSpec::new(AggFunc::Min, col("ps_supplycost"), "min_cost")],
+        )
+        .select(vec![
+            hsqp::engine::plan::MapExpr::new("mc_partkey", col("ps_partkey")),
+            hsqp::engine::plan::MapExpr::new("mc_cost", col("min_cost")),
+        ]);
+    // Force hash-repartitioning both sides on the mixed-type key pair so
+    // the partition hash (not just the join hash) must agree.
+    let winners = LogicalPlan::scan(TpchTable::Partsupp).join_with(
+        min_cost,
+        &["ps_partkey", "ps_supplycost"],
+        &["mc_partkey", "mc_cost"],
+        JoinKind::LeftSemi,
+        JoinStrategy::Repartition,
+    );
+    let parts = cluster
+        .run(
+            &planner
+                .plan_query(&LogicalQuery::stage(
+                    LogicalPlan::scan(TpchTable::Partsupp).aggregate(
+                        &[],
+                        vec![AggSpec::new(
+                            AggFunc::CountDistinct,
+                            col("ps_partkey"),
+                            "parts",
+                        )],
+                    ),
+                ))
+                .unwrap(),
+        )
+        .unwrap()
+        .table
+        .value(0, 0)
+        .as_i64();
+    let matched = cluster
+        .run(&planner.plan_query(&LogicalQuery::stage(winners)).unwrap())
+        .unwrap();
+    assert!(
+        matched.row_count() as i64 >= parts,
+        "every part has at least one minimum-cost supplier ({} matched, {parts} parts)",
+        matched.row_count()
+    );
+    cluster.shutdown();
+}
+
 // --- property test: random logical plans lower without panicking ---------
 
 const NUM_COLS: [&str; 5] = [
