@@ -38,7 +38,9 @@ use crate::exchange::{spawn_multiplexer, Endpoint, MessagePool, MuxCmd, MuxConfi
 use crate::exec::{Batch, NodeCtx, NodeExec};
 use crate::expr::Expr;
 use crate::local::MorselDriver;
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use crate::plan::Plan;
+use crate::profile::{plan_node_count, QueryProfile, StageRecorder};
 use crate::queries::{Query, QueryStage, StageRole};
 
 /// Which network stack the multiplexers use (the three lines of Figure 3).
@@ -134,6 +136,10 @@ pub struct ClusterConfig {
     /// (admission control). Each in-flight query's stages run SPMD over
     /// the shared multiplexers.
     pub max_concurrent: u16,
+    /// Collect per-query [`QueryProfile`]s (span-based profiler). The
+    /// recorder is lock-free atomics per node thread; turning it off
+    /// removes even that overhead for benchmark baselines.
+    pub profiling: bool,
 }
 
 impl ClusterConfig {
@@ -154,6 +160,7 @@ impl ClusterConfig {
             placement: Placement::Chunked,
             switch_contention: true,
             max_concurrent: 4,
+            profiling: true,
         }
     }
 
@@ -222,6 +229,9 @@ pub struct QueryResult {
     pub bytes_shuffled: u64,
     /// Network messages this query sent.
     pub messages_sent: u64,
+    /// The query's execution profile (`None` when
+    /// [`ClusterConfig::profiling`] is off).
+    pub profile: Option<QueryProfile>,
 }
 
 impl QueryResult {
@@ -244,6 +254,11 @@ struct QueryShared {
     stats: Arc<QueryNetStats>,
     state: Mutex<HandleState>,
     done: Condvar,
+    /// Accumulating profile; stages are appended as they complete, so a
+    /// cancelled or failed query keeps the stages that finished. The lock
+    /// is touched once per stage, not on the execution hot path.
+    profile: Mutex<QueryProfile>,
+    profiling: bool,
 }
 
 impl QueryShared {
@@ -317,6 +332,14 @@ impl QueryHandle {
     pub fn net_stats(&self) -> &QueryNetStats {
         &self.shared.stats
     }
+
+    /// Snapshot of the query's execution profile: the stages that have
+    /// completed so far (all of them once the query finished; a partial
+    /// prefix while it runs or after cancellation). Empty when the cluster
+    /// runs with [`ClusterConfig::profiling`] off.
+    pub fn profile(&self) -> QueryProfile {
+        self.shared.profile.lock().clone()
+    }
 }
 
 /// One admitted query waiting for (or holding) a dispatcher slot.
@@ -346,6 +369,37 @@ struct ClusterInner {
     query_stats: Arc<QueryStatsRegistry>,
     next_query: AtomicU32,
     down: AtomicBool,
+    scheduler: Option<Arc<NetScheduler>>,
+    metrics: MetricsRegistry,
+    dm: DispatchMetrics,
+}
+
+/// Pre-resolved dispatcher instruments, so admission and completion paths
+/// never look up the registry by name.
+struct DispatchMetrics {
+    queue_depth: Arc<Gauge>,
+    active: Arc<Gauge>,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    admission_wait_us: Arc<Histogram>,
+    stage_rounds: Arc<Counter>,
+}
+
+impl DispatchMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        Self {
+            queue_depth: reg.gauge("dispatcher.queue_depth"),
+            active: reg.gauge("queries.active"),
+            submitted: reg.counter("queries.submitted"),
+            completed: reg.counter("queries.completed"),
+            failed: reg.counter("queries.failed"),
+            cancelled: reg.counter("queries.cancelled"),
+            admission_wait_us: reg.histogram("dispatcher.admission_wait_us"),
+            stage_rounds: reg.counter("stages.executed"),
+        }
+    }
 }
 
 impl Cluster {
@@ -461,6 +515,8 @@ impl Cluster {
             mux_handles.push(handle);
         }
 
+        let metrics = MetricsRegistry::new();
+        let dm = DispatchMetrics::new(&metrics);
         let inner = Arc::new(ClusterInner {
             cfg,
             fabric,
@@ -469,6 +525,9 @@ impl Cluster {
             query_stats,
             next_query: AtomicU32::new(0),
             down: AtomicBool::new(false),
+            scheduler,
+            metrics,
+            dm,
         });
 
         // Admission/dispatch pool: up to `max_concurrent` queries run their
@@ -510,6 +569,26 @@ impl Cluster {
     /// Per-node execution contexts (benchmark instrumentation).
     pub fn node_ctx(&self, node: u16) -> &Arc<NodeCtx> {
         &self.inner.nodes[node as usize]
+    }
+
+    /// Snapshot the cluster-wide metrics: dispatcher counters/gauges and
+    /// the admission-wait histogram, plus derived fabric counters (network
+    /// scheduler barrier rounds, per-link bytes and messages).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        if let Some(sched) = &self.inner.scheduler {
+            snap.push_counter("net.scheduler.rounds", sched.rounds());
+        }
+        for i in 0..self.inner.cfg.nodes {
+            let stats = self.inner.fabric.stats(NodeId(i));
+            snap.push_counter(&format!("net.node{i}.bytes_sent"), stats.bytes_sent());
+            snap.push_counter(
+                &format!("net.node{i}.bytes_received"),
+                stats.bytes_received(),
+            );
+            snap.push_counter(&format!("net.node{i}.messages_sent"), stats.messages_sent());
+        }
+        snap
     }
 
     /// Generate TPC-H at `sf` and distribute it per the configured
@@ -588,16 +667,28 @@ impl Cluster {
             stats: self.inner.query_stats.register(id),
             state: Mutex::new(HandleState::Pending),
             done: Condvar::new(),
+            profile: Mutex::new(QueryProfile::new(id, query.number)),
+            profiling: self.inner.cfg.profiling,
         });
         let submission = Submission {
             stages: query.stages.clone(),
             submitted: Instant::now(),
             shared: Arc::clone(&shared),
         };
-        self.submit_tx
+        self.inner.dm.submitted.inc();
+        self.inner.dm.queue_depth.inc();
+        let sent = self
+            .submit_tx
             .as_ref()
-            .and_then(|tx| tx.send(submission).ok())
-            .ok_or(EngineError::ClusterDown)?;
+            .and_then(|tx| tx.send(submission).ok());
+        if sent.is_none() {
+            // The submission never reached a dispatcher: nothing will
+            // retire its stats registration, so release it here instead of
+            // leaking the entry until shutdown.
+            self.inner.dm.queue_depth.dec();
+            self.inner.query_stats.retire(id);
+            return Err(EngineError::ClusterDown);
+        }
         Ok(QueryHandle { shared })
     }
 
@@ -646,6 +737,15 @@ impl Cluster {
         for h in self.dispatchers.drain(..) {
             let _ = h.join();
         }
+        // Every admitted query has now been executed or failed fast, and
+        // both paths retire the stats registration — anything left is a
+        // leak (the bug this assert guards: registrations abandoned by
+        // queries that never reached a dispatcher).
+        debug_assert_eq!(
+            self.inner.query_stats.tracked(),
+            0,
+            "query stats registry leaked entries at shutdown"
+        );
         // Only then stop the multiplexers the dispatchers depended on.
         for tx in &self.inner.mux_senders {
             let _ = tx.send(MuxCmd::Shutdown);
@@ -669,6 +769,11 @@ impl ClusterInner {
     /// stats registration are released afterwards, so a cancelled query
     /// can never wedge the multiplexers or leak state.
     fn execute_submission(&self, sub: Submission) {
+        self.dm.queue_depth.dec();
+        self.dm
+            .admission_wait_us
+            .observe(sub.submitted.elapsed().as_micros() as u64);
+        self.dm.active.inc();
         let result = if self.down.load(Ordering::SeqCst) {
             Err(EngineError::ClusterDown)
         } else {
@@ -699,6 +804,12 @@ impl ClusterInner {
             node.hub.finish_query(sub.shared.id);
         }
         self.query_stats.retire(sub.shared.id);
+        self.dm.active.dec();
+        match &result {
+            Ok(_) => self.dm.completed.inc(),
+            Err(EngineError::Cancelled) => self.dm.cancelled.inc(),
+            Err(_) => self.dm.failed.inc(),
+        }
         sub.shared.complete(result);
     }
 
@@ -744,7 +855,19 @@ impl ClusterInner {
             // range, and the query id in the wire header isolates them
             // from every other in-flight query.
             let base = (stage_idx as u32) * 100_000;
-            let results = self.execute_spmd(query, &stage.plan, &params, base);
+            // One recorder per stage, anchored at submission time so every
+            // stage's spans share the query's timeline. Merging under the
+            // profile lock happens once per stage, after the SPMD scope
+            // joined — node threads only ever touch their own cells.
+            let recorder = self.cfg.profiling.then(|| {
+                StageRecorder::new(sub.submitted, self.cfg.nodes, plan_node_count(&stage.plan))
+            });
+            let results = self.execute_spmd(query, &stage.plan, &params, base, recorder.as_ref());
+            self.dm.stage_rounds.inc();
+            if let Some(rec) = &recorder {
+                let profile = rec.finish(&stage.plan, stage.role.label(), stage.estimated_rows);
+                sub.shared.profile.lock().stages.push(profile);
+            }
             match &stage.role {
                 StageRole::Result => {
                     final_table = Some(
@@ -802,16 +925,33 @@ impl ClusterInner {
             elapsed: sub.submitted.elapsed(),
             bytes_shuffled: sub.shared.stats.bytes_sent(),
             messages_sent: sub.shared.stats.messages_sent(),
+            profile: sub
+                .shared
+                .profiling
+                .then(|| sub.shared.profile.lock().clone()),
         })
     }
 
-    fn execute_spmd(&self, query: QueryId, plan: &Plan, params: &[Value], base: u32) -> Vec<Batch> {
+    fn execute_spmd(
+        &self,
+        query: QueryId,
+        plan: &Plan,
+        params: &[Value],
+        base: u32,
+        recorder: Option<&StageRecorder>,
+    ) -> Vec<Batch> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
-                .map(|ctx| {
-                    scope.spawn(move || NodeExec::new(ctx, query, params, base).execute(plan))
+                .enumerate()
+                .map(|(i, ctx)| {
+                    let node_rec = recorder.map(|r| r.node(i));
+                    scope.spawn(move || {
+                        NodeExec::new(ctx, query, params, base)
+                            .with_recorder(node_rec)
+                            .execute(plan)
+                    })
                 })
                 .collect();
             handles

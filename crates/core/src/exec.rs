@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
@@ -28,8 +29,9 @@ use crate::exchange::{
 };
 use crate::expr::{eval, Expr};
 use crate::local::MorselDriver;
-use crate::ops::{aggregate, probe_join, sort_table, JoinTable};
+use crate::ops::{aggregate, canon_f64_bits, i64_as_f64_exact, probe_join, sort_table, JoinTable};
 use crate::plan::{ExchangeKind, MapExpr, Plan};
+use crate::profile::{plan_node_count, NodeRecorder};
 use crate::wire::{RowDeserializer, RowSerializer};
 
 /// Shared, long-lived state of one simulated server node.
@@ -149,6 +151,7 @@ pub struct NodeExec<'a> {
     query: QueryId,
     params: &'a [Value],
     next_exchange: AtomicU32,
+    recorder: Option<&'a NodeRecorder>,
 }
 
 impl<'a> NodeExec<'a> {
@@ -163,19 +166,38 @@ impl<'a> NodeExec<'a> {
             query,
             params,
             next_exchange: AtomicU32::new(exchange_base),
+            recorder: None,
         }
+    }
+
+    /// Attach this node's profiling recorder: every operator then records
+    /// a span cell (pre-order indexed) as it executes.
+    pub fn with_recorder(mut self, recorder: Option<&'a NodeRecorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Execute `plan`, returning this node's share of the result.
     pub fn execute(&self, plan: &Plan) -> Batch {
-        match plan {
+        self.execute_at(plan, 0)
+    }
+
+    /// Execute the operator at pre-order index `idx` (see
+    /// [`crate::profile::plan_labels`] for the numbering), recording its
+    /// span when profiling is on.
+    fn execute_at(&self, plan: &Plan, idx: usize) -> Batch {
+        if let Some(rec) = self.recorder {
+            rec.op_enter(idx);
+        }
+        let (out, rows_in) = match plan {
             Plan::Scan {
                 table,
                 filter,
                 project,
             } => {
                 let t = self.ctx.local_table(*table);
-                match (filter, project) {
+                let rows_in = t.rows() as u64;
+                let out = match (filter, project) {
                     (Some(pred), project) => {
                         let filtered = self.parallel_filter(&t, pred);
                         Batch::Owned(match project {
@@ -186,23 +208,28 @@ impl<'a> NodeExec<'a> {
                     (None, Some(names)) => Batch::Owned(project_table(&t, names)),
                     // No transform: share the loaded relation.
                     (None, None) => Batch::Shared(t),
-                }
+                };
+                (out, rows_in)
             }
             Plan::TempScan { name, project } => {
                 let t = self.ctx.query_temp(self.query, name);
-                match project {
+                let rows_in = t.rows() as u64;
+                let out = match project {
                     Some(names) => Batch::Owned(project_table(&t, names)),
                     // No transform: share the materialized temp.
                     None => Batch::Shared(t),
-                }
+                };
+                (out, rows_in)
             }
             Plan::Filter { input, predicate } => {
-                let t = self.execute(input);
-                Batch::Owned(self.parallel_filter(&t, predicate))
+                let t = self.execute_at(input, idx + 1);
+                let rows_in = t.rows() as u64;
+                (Batch::Owned(self.parallel_filter(&t, predicate)), rows_in)
             }
             Plan::Map { input, outputs } => {
-                let t = self.execute(input);
-                Batch::Owned(self.parallel_map(&t, outputs))
+                let t = self.execute_at(input, idx + 1);
+                let rows_in = t.rows() as u64;
+                (Batch::Owned(self.parallel_map(&t, outputs)), rows_in)
             }
             Plan::HashJoin {
                 probe,
@@ -211,24 +238,30 @@ impl<'a> NodeExec<'a> {
                 build_keys,
                 kind,
             } => {
-                let build_t = self.execute(build).into_arc();
+                // Pre-order: probe renders first, so it is idx + 1 and the
+                // build subtree starts after the whole probe subtree.
+                let build_idx_base = idx + 1 + plan_node_count(probe);
+                let build_t = self.execute_at(build, build_idx_base).into_arc();
                 let build_idx: Vec<usize> = build_keys
                     .iter()
                     .map(|k| build_t.schema().index_of(k))
                     .collect();
+                let build_rows = build_t.rows() as u64;
                 let jt = JoinTable::build(build_t, &build_idx);
-                let probe_t = self.execute(probe);
+                let probe_t = self.execute_at(probe, idx + 1);
                 let probe_idx: Vec<usize> = probe_keys
                     .iter()
                     .map(|k| probe_t.schema().index_of(k))
                     .collect();
-                Batch::Owned(probe_join(
+                let rows_in = build_rows + probe_t.rows() as u64;
+                let out = Batch::Owned(probe_join(
                     &probe_t,
                     &jt,
                     &probe_idx,
                     *kind,
                     &self.ctx.driver,
-                ))
+                ));
+                (out, rows_in)
             }
             Plan::Aggregate {
                 input,
@@ -236,28 +269,36 @@ impl<'a> NodeExec<'a> {
                 aggs,
                 phase,
             } => {
-                let t = self.execute(input);
+                let t = self.execute_at(input, idx + 1);
+                let rows_in = t.rows() as u64;
                 let group_idx: Vec<usize> =
                     group_by.iter().map(|g| t.schema().index_of(g)).collect();
-                Batch::Owned(aggregate(
+                let out = Batch::Owned(aggregate(
                     &t,
                     &group_idx,
                     aggs,
                     *phase,
                     &self.ctx.driver,
                     self.params,
-                ))
+                ));
+                (out, rows_in)
             }
             Plan::Sort { input, keys, limit } => {
-                let t = self.execute(input);
-                Batch::Owned(sort_table(&t, keys, *limit))
+                let t = self.execute_at(input, idx + 1);
+                let rows_in = t.rows() as u64;
+                (Batch::Owned(sort_table(&t, keys, *limit)), rows_in)
             }
             Plan::Exchange { input, kind } => {
-                let t = self.execute(input);
+                let t = self.execute_at(input, idx + 1);
+                let rows_in = t.rows() as u64;
                 let id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
-                Batch::Owned(self.run_exchange(id, kind, &t))
+                (Batch::Owned(self.run_exchange(idx, id, kind, &t)), rows_in)
             }
+        };
+        if let Some(rec) = self.recorder {
+            rec.op_exit(idx, rows_in, out.rows() as u64);
         }
+        out
     }
 
     // -- local pipelines ----------------------------------------------------
@@ -318,7 +359,7 @@ impl<'a> NodeExec<'a> {
 
     // -- exchange -----------------------------------------------------------
 
-    fn run_exchange(&self, id: u32, kind: &ExchangeKind, input: &Table) -> Table {
+    fn run_exchange(&self, op_idx: usize, id: u32, kind: &ExchangeKind, input: &Table) -> Table {
         let ctx = self.ctx;
         let n = ctx.nodes;
         let me = ctx.node;
@@ -331,15 +372,19 @@ impl<'a> NodeExec<'a> {
         };
         ctx.hub.expect_lasts(self.query, id, expected_lasts);
 
+        let send_t0 = Instant::now();
         match kind {
             ExchangeKind::HashPartition(keys) => {
                 let key_idx: Vec<usize> = keys.iter().map(|k| schema.index_of(k)).collect();
-                self.partition_and_send(id, input, &key_idx);
+                self.partition_and_send(op_idx, id, input, &key_idx);
             }
-            ExchangeKind::Broadcast => self.broadcast_send(id, input),
-            ExchangeKind::Gather => self.gather_send(id, input),
+            ExchangeKind::Broadcast => self.broadcast_send(op_idx, id, input),
+            ExchangeKind::Gather => self.gather_send(op_idx, id, input),
         }
         self.send_lasts(id, kind);
+        if let Some(rec) = self.recorder {
+            rec.add_send_time(op_idx, send_t0.elapsed());
+        }
 
         // Gather keeps a local pass-through of node 0's own rows.
         let local_part = match kind {
@@ -352,7 +397,7 @@ impl<'a> NodeExec<'a> {
             _ => None,
         };
 
-        let mut out = self.consume(id, &schema);
+        let mut out = self.consume(op_idx, id, &schema);
         if let Some(local) = local_part {
             out.append(&local);
         }
@@ -362,7 +407,7 @@ impl<'a> NodeExec<'a> {
 
     /// Figure 7 steps 1–4: consume, partition by CRC32, serialize into
     /// pooled messages, pass full messages to the multiplexer.
-    fn partition_and_send(&self, id: u32, input: &Table, key_idx: &[usize]) {
+    fn partition_and_send(&self, op_idx: usize, id: u32, input: &Table, key_idx: &[usize]) {
         let ctx = self.ctx;
         let units = ctx.classic_units.unwrap_or(1);
         let buckets_total = ctx.nodes as usize * units as usize;
@@ -383,7 +428,7 @@ impl<'a> NodeExec<'a> {
                         >= ctx.message_capacity
                     {
                         let (buf, socket) = st.bufs[bucket].take().expect("present");
-                        self.flush_message(id, bucket, buf, socket, w.socket, units);
+                        self.flush_message(op_idx, id, bucket, buf, socket, w.socket, units);
                     }
                 }
             },
@@ -394,6 +439,7 @@ impl<'a> NodeExec<'a> {
                 if let Some((buf, socket)) = slot {
                     if buf.len() > HEADER_LEN {
                         self.flush_message(
+                            op_idx,
                             id,
                             bucket,
                             buf,
@@ -411,6 +457,7 @@ impl<'a> NodeExec<'a> {
 
     fn flush_message(
         &self,
+        op_idx: usize,
         id: u32,
         bucket: usize,
         mut buf: Vec<u8>,
@@ -441,6 +488,9 @@ impl<'a> NodeExec<'a> {
             );
             ctx.pool.recycle(mem_socket);
         } else {
+            if let Some(rec) = self.recorder {
+                rec.net_send(op_idx, buf.len() as u64, 1);
+            }
             ctx.to_mux
                 .send(MuxCmd::Send {
                     target,
@@ -455,7 +505,7 @@ impl<'a> NodeExec<'a> {
     /// retain counter (Bytes refcount). Classic mode additionally ships one
     /// duplicate per remote *unit*, paying the (n·t−1)-copy network cost the
     /// paper attributes to classic exchange operators.
-    fn broadcast_send(&self, id: u32, input: &Table) {
+    fn broadcast_send(&self, op_idx: usize, id: u32, input: &Table) {
         let ctx = self.ctx;
         let ser = RowSerializer::new(input.schema());
         let units = ctx.classic_units.unwrap_or(1);
@@ -481,6 +531,16 @@ impl<'a> NodeExec<'a> {
                 false,
             );
             if ctx.nodes > 1 {
+                let remote = u64::from(ctx.nodes - 1);
+                if let Some(rec) = self.recorder {
+                    // Each broadcast ships one wire copy per remote node
+                    // (plus one per remote classic unit below).
+                    rec.net_send(
+                        op_idx,
+                        bytes.len() as u64 * remote * u64::from(units),
+                        remote * u64::from(units),
+                    );
+                }
                 ctx.to_mux
                     .send(MuxCmd::Broadcast {
                         payload: bytes.clone(),
@@ -528,7 +588,7 @@ impl<'a> NodeExec<'a> {
     }
 
     /// Gather: ship everything to node 0.
-    fn gather_send(&self, id: u32, input: &Table) {
+    fn gather_send(&self, op_idx: usize, id: u32, input: &Table) {
         let ctx = self.ctx;
         if ctx.node.0 == 0 || ctx.nodes <= 1 {
             return; // coordinator keeps its rows as a local pass-through
@@ -544,6 +604,9 @@ impl<'a> NodeExec<'a> {
             if buf.len() >= ctx.message_capacity {
                 let mut full = buf;
                 patch_header(self.query, id, 0, 0, &mut full);
+                if let Some(rec) = self.recorder {
+                    rec.net_send(op_idx, full.len() as u64, 1);
+                }
                 ctx.to_mux
                     .send(MuxCmd::Send {
                         target: NodeId(0),
@@ -562,6 +625,9 @@ impl<'a> NodeExec<'a> {
         if buf.len() > HEADER_LEN {
             let mut full = buf;
             patch_header(self.query, id, 0, 0, &mut full);
+            if let Some(rec) = self.recorder {
+                rec.net_send(op_idx, full.len() as u64, 1);
+            }
             ctx.to_mux
                 .send(MuxCmd::Send {
                     target: NodeId(0),
@@ -607,13 +673,14 @@ impl<'a> NodeExec<'a> {
     /// Figure 7 steps 5–7: workers drain NUMA-local receive queues (5a),
     /// steal across sockets when idle (5b), deserialize (6), and hand the
     /// tuples to the next pipeline (7) — here: collect into a table.
-    fn consume(&self, id: u32, schema: &Schema) -> Table {
+    fn consume(&self, op_idx: usize, id: u32, schema: &Schema) -> Table {
         let ctx = self.ctx;
         let de = RowDeserializer::new(schema);
         let stealing = !ctx.is_classic();
         let workers = ctx.driver.workers();
 
         let query = self.query;
+        let recorder = self.recorder;
         let pieces: Vec<Table> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers as usize);
             for w in 0..workers {
@@ -629,11 +696,23 @@ impl<'a> NodeExec<'a> {
                         w as usize
                     };
                     let mut out = Table::empty(de_schema(de));
-                    while let Some(msg) = hub.pop(query, id, own_queue, stealing) {
+                    let mut wait = Duration::ZERO;
+                    let mut batches = 0u64;
+                    loop {
+                        // Time blocked on the receive hub: the worker's
+                        // share of network wait at this exchange boundary.
+                        let pop_t0 = Instant::now();
+                        let msg = hub.pop(query, id, own_queue, stealing);
+                        wait += pop_t0.elapsed();
+                        let Some(msg) = msg else { break };
+                        batches += 1;
                         // Reading a remote message buffer crosses QPI.
                         topo.charge_access(socket, msg.mem_socket, msg.data.len());
                         let t = de.deserialize(&msg.data);
                         out.append(&t);
+                    }
+                    if let Some(rec) = recorder {
+                        rec.add_consume(op_idx, wait, batches);
                     }
                     out
                 }));
@@ -690,16 +769,30 @@ fn map_schema(t: &Table, outputs: &[MapExpr], params: &[Value]) -> Schema {
 
 /// Partition bucket of a row: CRC32 over the key attributes (§3.2).
 ///
-/// Keys hash by *logical* value: a fixed-point Decimal column (flagged
-/// `true`) hashes its promoted f64 value, byte-identical to how a Float64
-/// column holding the same value hashes — so the two sides of a mixed
-/// Decimal⋈Float64 join land on the same node when repartitioned.
+/// Keys hash by *logical* value in a single numeric domain: a fixed-point
+/// Decimal column (flagged `true`) hashes its promoted f64 value, an Int64
+/// key that is exactly representable as f64 hashes those f64 bits, and
+/// Float64 hashes its canonical bits (−0.0 folded onto +0.0) — so any two
+/// sides of a mixed Int64/Decimal/Float64 join holding the same value land
+/// on the same node when repartitioned (mirrors
+/// [`crate::ops::join_key_of`]).
 pub fn row_bucket(key_cols: &[(&Column, bool)], row: usize, buckets: usize) -> usize {
+    // Canonical hash bytes of one numeric key value.
+    fn i64_bytes(x: i64) -> [u8; 8] {
+        match i64_as_f64_exact(x) {
+            Some(f) => canon_f64_bits(f).to_le_bytes(),
+            None => x.to_le_bytes(),
+        }
+    }
     let h = if key_cols.len() == 1 {
         match key_cols[0] {
-            (Column::I64(v, _), true) => crc32(&decimal_to_f64(v[row]).to_le_bytes()),
+            (Column::I64(v, _), true) => {
+                crc32(&canon_f64_bits(decimal_to_f64(v[row])).to_le_bytes())
+            }
+            // Must agree with `placement::hash_partition` (same crc32_i64),
+            // or partitioned placement stops avoiding shuffles.
             (Column::I64(v, _), false) => crc32_i64(v[row]),
-            (Column::F64(v, _), _) => crc32(&v[row].to_le_bytes()),
+            (Column::F64(v, _), _) => crc32(&canon_f64_bits(v[row]).to_le_bytes()),
             (Column::Str(v, _), _) => crc32(v.get(row).as_bytes()),
         }
     } else {
@@ -707,10 +800,13 @@ pub fn row_bucket(key_cols: &[(&Column, bool)], row: usize, buckets: usize) -> u
         for &(c, promote) in key_cols {
             match (c, promote) {
                 (Column::I64(v, _), true) => {
-                    scratch.extend_from_slice(&decimal_to_f64(v[row]).to_le_bytes());
+                    scratch
+                        .extend_from_slice(&canon_f64_bits(decimal_to_f64(v[row])).to_le_bytes());
                 }
-                (Column::I64(v, _), false) => scratch.extend_from_slice(&v[row].to_le_bytes()),
-                (Column::F64(v, _), _) => scratch.extend_from_slice(&v[row].to_le_bytes()),
+                (Column::I64(v, _), false) => scratch.extend_from_slice(&i64_bytes(v[row])),
+                (Column::F64(v, _), _) => {
+                    scratch.extend_from_slice(&canon_f64_bits(v[row]).to_le_bytes());
+                }
                 (Column::Str(v, _), _) => scratch.extend_from_slice(v.get(row).as_bytes()),
             }
         }

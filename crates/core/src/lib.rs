@@ -37,6 +37,12 @@
 //! once over the shared multiplexers — every wire message is tagged with
 //! a [`QueryId`], temp relations live in per-query namespaces, and
 //! fabric statistics are accounted per query.
+//!
+//! Execution is observable end to end: the span-based [`profile`]r records
+//! per stage × node × operator timings (network wait split out at exchange
+//! boundaries) into each query's [`QueryProfile`], and the cluster-wide
+//! [`metrics`] registry aggregates dispatcher and fabric health across
+//! queries.
 
 pub mod cluster;
 pub mod error;
@@ -45,9 +51,11 @@ pub mod exec;
 pub mod expr;
 pub mod local;
 pub mod logical;
+pub mod metrics;
 pub mod ops;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod queries;
 pub mod session;
 pub mod wire;
@@ -57,6 +65,8 @@ pub use error::EngineError;
 pub use expr::Expr;
 pub use hsqp_net::QueryId;
 pub use logical::{JoinStrategy, LogicalPlan};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
 pub use planner::{Planner, PlannerConfig, TableStats};
+pub use profile::{chrome_trace, QueryProfile};
 pub use session::{Session, SessionBuilder};

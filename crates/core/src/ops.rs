@@ -54,6 +54,10 @@ pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
 pub enum KeyPart {
     /// Integer-backed key (ints, dates, decimals in cents).
     I64(i64),
+    /// Canonical f64 bit pattern (see [`canon_f64_bits`]): the numeric
+    /// join-key domain, so Int64, Float64, and promoted Decimal keys
+    /// holding the same logical value compare equal.
+    F64(u64),
     /// String key.
     Str(Box<str>),
     /// NULL key component (groups NULLs together, SQL GROUP BY semantics).
@@ -80,6 +84,11 @@ pub fn key_of(columns: &[&Column], row: usize) -> Key {
         })
         .collect()
 }
+
+// Canonical numeric-key helpers live next to the placement hash in
+// `hsqp_storage` so that table placement and exchange partitioning cannot
+// diverge; re-exported here because they define the `KeyPart::F64` domain.
+pub use hsqp_storage::placement::{canon_f64_bits, i64_as_f64_exact};
 
 /// A join-key column plus its canonicalization flag: `true` promotes a
 /// fixed-point Decimal (i64 cents) to its logical f64 value — the same
@@ -112,10 +121,16 @@ pub fn join_key_of(columns: &[JoinKeyCol<'_>], row: usize) -> Key {
             } else {
                 match c {
                     Column::I64(v, _) if promote => {
-                        KeyPart::I64(decimal_to_f64(v[row]).to_bits() as i64)
+                        KeyPart::F64(canon_f64_bits(decimal_to_f64(v[row])))
                     }
-                    Column::I64(v, _) => KeyPart::I64(v[row]),
-                    Column::F64(v, _) => KeyPart::I64(v[row].to_bits() as i64),
+                    // Int64 keys join the numeric f64 domain when exactly
+                    // representable; the rest keep their integer identity
+                    // (no f64 can equal them by value anyway).
+                    Column::I64(v, _) => match i64_as_f64_exact(v[row]) {
+                        Some(f) => KeyPart::F64(canon_f64_bits(f)),
+                        None => KeyPart::I64(v[row]),
+                    },
+                    Column::F64(v, _) => KeyPart::F64(canon_f64_bits(v[row])),
                     Column::Str(v, _) => KeyPart::Str(v.get(row).into()),
                 }
             }
@@ -649,6 +664,10 @@ fn build_agg_output(
                         Value::I64(*x)
                     }
                 }
+                // Group-by keys come from `key_of`, which keeps f64 bits in
+                // the I64 variant; F64 belongs to the join/partition key
+                // domain but decodes cleanly if it ever shows up here.
+                KeyPart::F64(bits) => Value::F64(f64::from_bits(*bits)),
                 KeyPart::Str(s) => Value::Str(s.to_string()),
                 KeyPart::Null => Value::Null,
             };
@@ -844,6 +863,51 @@ mod tests {
         let jt = JoinTable::build(renamed, &[0]);
         let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
         assert_eq!(out.rows(), 3);
+    }
+
+    #[test]
+    fn i64_f64_exact_roundtrip_edges() {
+        assert_eq!(i64_as_f64_exact(0), Some(0.0));
+        assert_eq!(i64_as_f64_exact(-7), Some(-7.0));
+        assert_eq!(i64_as_f64_exact(1 << 53), Some((1u64 << 53) as f64));
+        // 2^53 + 1 is the first integer f64 cannot represent.
+        assert_eq!(i64_as_f64_exact((1 << 53) + 1), None);
+        // i64::MAX would round-trip through the saturating cast — must be
+        // rejected explicitly.
+        assert_eq!(i64_as_f64_exact(i64::MAX), None);
+        // i64::MIN is a power of two, exactly representable.
+        assert_eq!(i64_as_f64_exact(i64::MIN), Some(i64::MIN as f64));
+        // Canonical zero folds the sign bit.
+        assert_eq!(canon_f64_bits(-0.0), canon_f64_bits(0.0));
+        assert_ne!(canon_f64_bits(-1.0), canon_f64_bits(1.0));
+    }
+
+    #[test]
+    fn int64_keys_join_float64_keys_by_value() {
+        let probe = Table::new(
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+            vec![Column::I64(vec![1, 2, 3, (1 << 53) + 1], None)],
+        );
+        let build = Table::new(
+            Schema::new(vec![Field::new("f", DataType::Float64)]),
+            vec![Column::F64(
+                vec![2.0, 3.0, -0.0, ((1i64 << 53) + 2) as f64],
+                None,
+            )],
+        );
+        let jt = JoinTable::build(build, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
+        // 2 and 3 match by value; 2^53+1 has no exact f64 peer.
+        assert_eq!(out.rows(), 2);
+        // Pure Int64 ⋈ Int64 is unchanged by canonicalization, including
+        // keys beyond f64's exact-integer range.
+        let big = Table::new(
+            Schema::new(vec![Field::new("k2", DataType::Int64)]),
+            vec![Column::I64(vec![1, (1 << 53) + 1, i64::MAX], None)],
+        );
+        let jt = JoinTable::build(big, &[0]);
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        assert_eq!(out.rows(), 2); // 1 and 2^53+1
     }
 
     #[test]

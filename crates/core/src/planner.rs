@@ -285,6 +285,7 @@ impl Planner {
             stages.push(QueryStage {
                 plan: mplan,
                 role: StageRole::Materialize(name.clone()),
+                estimated_rows: Some(est),
             });
         }
 
@@ -305,16 +306,19 @@ impl Planner {
             }
             let lowered = p.lower(stage, None)?;
             let n_cols = lowered.cols.len();
+            let est = lowered.est;
             let plan = finish_on_coordinator(lowered);
             if i == last {
                 stages.push(QueryStage {
                     plan,
                     role: StageRole::Result,
+                    estimated_rows: Some(est),
                 });
             } else {
                 stages.push(QueryStage {
                     plan,
                     role: StageRole::Params,
+                    estimated_rows: Some(est),
                 });
                 params_bound += n_cols;
             }

@@ -41,6 +41,17 @@ pub enum StageRole {
     Result,
 }
 
+impl StageRole {
+    /// Short human-readable label (used by profiles and EXPLAIN output).
+    pub fn label(&self) -> String {
+        match self {
+            StageRole::Params => "params".into(),
+            StageRole::Materialize(name) => format!("materialize {name:?}"),
+            StageRole::Result => "result".into(),
+        }
+    }
+}
+
 /// One stage of a physical [`Query`].
 #[derive(Debug, Clone)]
 pub struct QueryStage {
@@ -48,6 +59,10 @@ pub struct QueryStage {
     pub plan: Plan,
     /// What happens to its output.
     pub role: StageRole,
+    /// The planner's cardinality estimate for the stage result, compared
+    /// against profiled actuals in EXPLAIN output. `None` for hand-written
+    /// plans, which carry no estimates.
+    pub estimated_rows: Option<f64>,
 }
 
 /// A multi-stage physical query: parameter and materialization stages run
@@ -68,6 +83,7 @@ impl Query {
             stages: vec![QueryStage {
                 plan,
                 role: StageRole::Result,
+                estimated_rows: None,
             }],
             number,
         }
@@ -84,6 +100,7 @@ impl Query {
                 .map(|plan| QueryStage {
                     plan,
                     role: StageRole::Params,
+                    estimated_rows: None,
                 })
                 .collect(),
         )
@@ -198,10 +215,12 @@ mod tests {
                     QueryStage {
                         plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
                         role: StageRole::Result,
+                        estimated_rows: None,
                     },
                     QueryStage {
                         plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
                         role: StageRole::Params,
+                        estimated_rows: None,
                     },
                 ],
             ),

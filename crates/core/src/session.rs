@@ -93,6 +93,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Collect per-query execution profiles (default on). Turn off to
+    /// remove even the profiler's atomic-counter overhead from benchmark
+    /// baselines.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.cfg.profiling = on;
+        self
+    }
+
     /// Replace the whole cluster configuration (keeps any `tpch` request).
     pub fn config(mut self, cfg: ClusterConfig) -> Self {
         self.cfg = cfg;
@@ -214,6 +222,13 @@ impl Session {
     /// The underlying cluster (fabric statistics, explicit table loading).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Snapshot the cluster-wide metrics registry: dispatcher queue depth,
+    /// admission wait, active/completed query counts, network-scheduler
+    /// rounds, and per-link byte counters.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.cluster.metrics()
     }
 
     /// Tear the session down: consumes the session, whose drop stops the

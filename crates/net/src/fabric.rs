@@ -294,12 +294,20 @@ mod tests {
         };
         let f = Fabric::new(3, cfg);
         // Two concurrent senders into node 2; second reservation sees k=2.
+        let t0 = f.now();
         let d1 = f.reserve(NodeId(0), NodeId(2), 100_000, 1);
         let d2 = f.reserve(NodeId(1), NodeId(2), 100_000, 1);
+        // Reservations anchor at the wall clock, so if this thread is
+        // descheduled between the two calls the gap widens by that pause —
+        // bound it by the measured skew or the test flakes under load.
+        let skew = f.now() - t0;
         // Base service: 10ms each. With contention the second takes 15 ms,
         // queued after the first → d2 ≈ d1 + 15 ms.
         let gap = d2 - d1;
-        assert!(gap > 0.014 && gap < 0.020, "gap was {gap}");
+        assert!(
+            gap > 0.014 && gap < 0.020 + skew,
+            "gap was {gap} (skew {skew})"
+        );
     }
 
     #[test]
@@ -310,10 +318,16 @@ mod tests {
             ..fast_cfg()
         };
         let f = Fabric::new(3, cfg);
+        let t0 = f.now();
         let d1 = f.reserve(NodeId(0), NodeId(2), 100_000, 1);
         let d2 = f.reserve(NodeId(1), NodeId(2), 100_000, 1);
+        // Same wall-clock skew tolerance as `contention_inflates_service_time`.
+        let skew = f.now() - t0;
         let gap = d2 - d1;
-        assert!(gap > 0.008 && gap < 0.013, "gap was {gap}");
+        assert!(
+            gap > 0.008 && gap < 0.013 + skew,
+            "gap was {gap} (skew {skew})"
+        );
     }
 
     #[test]

@@ -150,6 +150,12 @@ impl NetScheduler {
     pub fn parties(&self) -> usize {
         self.state.lock().parties
     }
+
+    /// Completed barrier rounds since creation — the number of
+    /// contention-free communication phases the scheduler has sequenced.
+    pub fn rounds(&self) -> u64 {
+        self.state.lock().generation
+    }
 }
 
 fn spin_for(d: Duration) {
@@ -239,6 +245,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 40);
+        assert_eq!(sched.rounds(), 10);
     }
 
     #[test]

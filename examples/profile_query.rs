@@ -1,0 +1,73 @@
+//! Profiling quickstart: submit a query, read its execution profile, and
+//! export a Chrome trace.
+//!
+//! The engine profiles every query by default (span-based, lock-free
+//! atomics — cheap enough to leave on): per stage × node × operator wall
+//! times, row counts, bytes shuffled, and the network-wait vs compute
+//! split at exchange boundaries. This example shows the three ways to
+//! consume a profile:
+//!
+//! 1. `QueryProfile::render()` — the `EXPLAIN ANALYZE` tree,
+//! 2. the structured API (walk stages/operators programmatically),
+//! 3. `chrome_trace()` — a trace-event JSON for chrome://tracing/Perfetto.
+//!
+//! ```bash
+//! cargo run --release --example profile_query
+//! ```
+
+use hsqp::engine::profile::chrome_trace;
+use hsqp::engine::queries::tpch_logical;
+use hsqp::engine::session::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::builder().nodes(4).tpch(0.01).build()?;
+
+    // --- 1. EXPLAIN ANALYZE: the plan tree with actuals ------------------
+    let handle = session.submit(&tpch_logical(3)?)?;
+    let result = handle.wait()?;
+    let profile = result.profile.as_ref().expect("profiling is on by default");
+    println!("=== Q3 EXPLAIN ANALYZE ===");
+    print!("{}", profile.render());
+
+    // --- 2. the structured API: where did the time go? -------------------
+    println!("\n=== Q3 by the numbers ===");
+    println!("bytes shuffled: {}", profile.bytes_shuffled());
+    println!(
+        "network wait:   {:.2} ms of {:.2} ms total",
+        profile.net_wait().as_secs_f64() * 1e3,
+        result.elapsed.as_secs_f64() * 1e3,
+    );
+    for (i, stage) in profile.stages.iter().enumerate() {
+        for op in stage.ops.iter().filter(|op| op.is_exchange()) {
+            println!(
+                "stage {} {:<40} {:>9} rows  {:>10} bytes",
+                i + 1,
+                op.label,
+                op.rows_out(),
+                op.bytes_sent(),
+            );
+        }
+    }
+
+    // --- 3. Chrome trace export: one lane per node -----------------------
+    // Collect a few queries into one trace; each becomes a "process" with
+    // a timeline lane per cluster node.
+    let mut profiles = vec![result.profile.unwrap()];
+    for n in [6u32, 12] {
+        let r = session.run(&tpch_logical(n)?)?;
+        profiles.push(r.profile.expect("profiling is on"));
+    }
+    let path = std::env::temp_dir().join("hsqp_trace.json");
+    std::fs::write(&path, chrome_trace(&profiles))?;
+    println!(
+        "\nwrote {} — load it in chrome://tracing or https://ui.perfetto.dev",
+        path.display()
+    );
+
+    // Cluster-wide metrics aggregate across all the queries above.
+    println!("\n=== cluster metrics ===");
+    print!("{}", session.metrics().render());
+
+    session.shutdown();
+    Ok(())
+}

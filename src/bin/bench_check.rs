@@ -1,0 +1,185 @@
+//! `bench_check` — benchmark trajectory regression gate.
+//!
+//! Compares a freshly produced `hsqp --bench-out` file against a committed
+//! baseline (e.g. `BENCH_tpch_sf001.json`):
+//!
+//! * **Row counts must match exactly.** The TPC-H generator is
+//!   deterministic, so any drift means the engine changed its answer —
+//!   always a failure.
+//! * **Latency regressions beyond the threshold** (default +25% per query)
+//!   are reported; whether they fail the run is selectable, because wall
+//!   times on shared CI runners are noisy while row counts are not.
+//!
+//! ```bash
+//! bench_check BENCH_tpch_sf001.json bench-results/BENCH_tpch.json --latency warn
+//! ```
+
+use std::process::ExitCode;
+
+use hsqp::benchjson::{parse, Json};
+
+const USAGE: &str = "\
+bench_check — compare a bench run against a committed baseline
+
+USAGE:
+    bench_check <BASELINE.json> <CURRENT.json> [OPTIONS]
+
+OPTIONS:
+    --latency <warn|fail>  What a per-query latency regression does
+                           (default warn: report but exit 0; row-count
+                           drift always fails)
+    --threshold <FLOAT>    Latency regression threshold as a ratio
+                           (default 1.25 = +25%)
+    -h, --help             Show this help
+";
+
+/// One query's numbers from a bench file.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    query: u32,
+    rows: u64,
+    ms: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hsqp-bench-v1") => {}
+        Some(other) => return Err(format!("{path}: unsupported schema {other:?}")),
+        None => return Err(format!("{path}: missing \"schema\" field")),
+    }
+    let queries = doc
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"queries\" array"))?;
+    let mut entries = Vec::with_capacity(queries.len());
+    for q in queries {
+        let field = |name: &str| {
+            q.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: query entry missing numeric {name:?}"))
+        };
+        entries.push(Entry {
+            query: field("query")? as u32,
+            rows: field("rows")? as u64,
+            ms: field("ms")?,
+        });
+    }
+    Ok(entries)
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut latency_fails = false;
+    let mut threshold = 1.25f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            "--latency" => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--latency requires a value".to_string())?;
+                latency_fails = match value.as_str() {
+                    "warn" => false,
+                    "fail" => true,
+                    other => return Err(format!("--latency expects warn | fail, got {other:?}")),
+                };
+                i += 2;
+            }
+            "--threshold" => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--threshold requires a value".to_string())?;
+                threshold = value
+                    .parse()
+                    .ok()
+                    .filter(|&t: &f64| t.is_finite() && t > 1.0)
+                    .ok_or_else(|| format!("--threshold must be a ratio > 1, got {value:?}"))?;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?} (see --help)"));
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return Err(format!(
+            "expected exactly two file arguments, got {}\n{USAGE}",
+            paths.len()
+        ));
+    };
+
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+
+    let mut row_failures = 0u32;
+    let mut regressions = 0u32;
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| c.query == b.query) else {
+            eprintln!(
+                "FAIL Q{}: present in baseline, missing from current run",
+                b.query
+            );
+            row_failures += 1;
+            continue;
+        };
+        if c.rows != b.rows {
+            eprintln!(
+                "FAIL Q{}: row count drifted ({} baseline -> {} current)",
+                b.query, b.rows, c.rows
+            );
+            row_failures += 1;
+        }
+        let ratio = if b.ms > 0.0 { c.ms / b.ms } else { f64::NAN };
+        if ratio.is_finite() && ratio > threshold {
+            eprintln!(
+                "{} Q{}: latency regressed {:.2}x ({:.2} ms baseline -> {:.2} ms, \
+                 threshold {:.2}x)",
+                if latency_fails { "FAIL" } else { "WARN" },
+                b.query,
+                ratio,
+                b.ms,
+                c.ms,
+                threshold
+            );
+            regressions += 1;
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.query == c.query) {
+            eprintln!(
+                "note Q{}: present in current run, not in baseline (unchecked)",
+                c.query
+            );
+        }
+    }
+
+    eprintln!(
+        "bench_check: {} queries compared, {} row-count failures, {} latency regressions",
+        baseline.len(),
+        row_failures,
+        regressions
+    );
+    Ok(row_failures == 0 && (!latency_fails || regressions == 0))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -25,7 +25,7 @@ use std::time::Instant;
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
 use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
 use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
-use hsqp::engine::QueryResult;
+use hsqp::engine::{chrome_trace, QueryProfile, QueryResult};
 use hsqp::tpch::TpchDb;
 
 const USAGE: &str = "\
@@ -60,6 +60,22 @@ OPTIONS:
                            queries/hour + latency percentiles
     --rounds <R>           Passes over the query set per client (default 1)
     --output <PATH>        Also write the JSON report to PATH
+    --analyze              EXPLAIN ANALYZE: after each query, print its
+                           plan tree annotated with actual rows, wall
+                           time, bytes shuffled, and per-node network
+                           wait vs compute (serial mode only)
+    --trace-out <PATH>     Write a Chrome trace-event JSON of all executed
+                           queries (load in chrome://tracing or Perfetto;
+                           serial mode only)
+    --bench-out <PATH>     Write the serial run as a benchmark trajectory
+                           file (compared against committed baselines by
+                           the bench_check tool; serial mode only)
+    --profile <on|off>     Per-query span profiling (default on); off
+                           removes even the profiler's atomic-counter
+                           overhead for baseline measurements
+    --metrics              Print the cluster-wide metrics registry
+                           (dispatcher, admission wait, per-link bytes)
+                           after the run
     -h, --help             Show this help
 ";
 
@@ -91,6 +107,11 @@ struct Args {
     clients: u16,
     rounds: u32,
     output: Option<String>,
+    analyze: bool,
+    trace_out: Option<String>,
+    bench_out: Option<String>,
+    profile: bool,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -107,6 +128,11 @@ fn parse_args() -> Result<Args, String> {
         clients: 1,
         rounds: 1,
         output: None,
+        analyze: false,
+        trace_out: None,
+        bench_out: None,
+        profile: true,
+        metrics: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -118,6 +144,16 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--explain" {
             args.explain = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--analyze" {
+            args.analyze = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--metrics" {
+            args.metrics = true;
             i += 1;
             continue;
         }
@@ -196,6 +232,19 @@ fn parse_args() -> Result<Args, String> {
             "--output" => {
                 args.output = Some(value.clone());
             }
+            "--trace-out" => {
+                args.trace_out = Some(value.clone());
+            }
+            "--bench-out" => {
+                args.bench_out = Some(value.clone());
+            }
+            "--profile" => {
+                args.profile = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--profile expects on | off, got {other:?}")),
+                };
+            }
             other => return Err(format!("unknown flag {other:?} (see --help)")),
         }
         i += 2;
@@ -222,6 +271,8 @@ fn cluster_config(args: &Args) -> Result<ClusterConfig, String> {
         numa_cost_ns: 0.0,
         message_capacity: args.message_kb * 1024,
         max_concurrent: args.clients,
+        // --analyze and --trace-out need profiles even under --profile off.
+        profiling: args.profile || args.analyze || args.trace_out.is_some(),
         ..ClusterConfig::paper(args.nodes)
     })
 }
@@ -291,7 +342,13 @@ fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
                 StageRole::Materialize(name) => format!(" materialize {name:?}"),
                 StageRole::Result => " result".to_string(),
             };
-            println!("-- stage {}/{total}:{role}", i + 1);
+            // Builder-mode stages carry the planner's cardinality estimate;
+            // a profiled run (--analyze) prints the actuals next to it.
+            let est = match stage.estimated_rows {
+                Some(e) => format!("  [est ~{e:.0} rows]"),
+                None => String::new(),
+            };
+            println!("-- stage {}/{total}:{role}{est}", i + 1);
             print!("{}", stage.plan.explain());
         }
         println!();
@@ -468,6 +525,9 @@ fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<()
             .collect()
     });
     let wall_ms = wall_started.elapsed().as_secs_f64() * 1e3;
+    if args.metrics {
+        eprint!("{}", cluster.metrics().render());
+    }
     bench.cluster.shutdown();
 
     let mut failures: Vec<String> = Vec::new();
@@ -589,6 +649,13 @@ fn run() -> Result<(), String> {
     }
 
     if args.clients > 1 || args.rounds > 1 {
+        if args.analyze || args.trace_out.is_some() || args.bench_out.is_some() {
+            return Err(
+                "--analyze, --trace-out, and --bench-out need the serial mode \
+                 (--clients 1, --rounds 1)"
+                    .into(),
+            );
+        }
         return run_throughput(&args, cfg, &queries);
     }
 
@@ -598,6 +665,8 @@ fn run() -> Result<(), String> {
     let planner = Planner::for_cluster(cluster);
     let plans = plan_queries(&args, &planner, &queries)?;
     let mut lines = Vec::new();
+    let mut bench_lines = Vec::new();
+    let mut profiles: Vec<QueryProfile> = Vec::new();
     let mut total_ms = 0.0f64;
     let mut log_sum = 0.0f64;
     let mut failures = 0u32;
@@ -621,6 +690,24 @@ fn run() -> Result<(), String> {
                     result.bytes_shuffled,
                     result.messages_sent
                 ));
+                let net_wait_ms = result
+                    .profile
+                    .as_ref()
+                    .map_or(0.0, |p| p.net_wait().as_secs_f64() * 1e3);
+                bench_lines.push(format!(
+                    "    {{\"query\": {n}, \"rows\": {}, \"ms\": {ms:.3}, \
+                     \"bytes_shuffled\": {}, \"net_wait_ms\": {net_wait_ms:.3}}}",
+                    result.row_count(),
+                    result.bytes_shuffled
+                ));
+                if let Some(profile) = result.profile {
+                    if args.analyze {
+                        eprint!("{}", profile.render());
+                    }
+                    if args.trace_out.is_some() {
+                        profiles.push(profile);
+                    }
+                }
             }
             Err(e) => {
                 failures += 1;
@@ -637,7 +724,34 @@ fn run() -> Result<(), String> {
     } else {
         (log_sum / queries.len() as f64).exp()
     };
+    if args.metrics {
+        eprint!("{}", cluster.metrics().render());
+    }
     bench.cluster.shutdown();
+
+    if let Some(path) = &args.trace_out {
+        let trace = chrome_trace(&profiles);
+        std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({} queries traced)", profiles.len());
+    }
+    if let Some(path) = &args.bench_out {
+        let mut out = String::from("{\n  \"schema\": \"hsqp-bench-v1\",\n");
+        let _ = writeln!(out, "  \"sf\": {},", args.sf);
+        let _ = writeln!(out, "  \"nodes\": {},", args.nodes);
+        let _ = writeln!(out, "  \"workers_per_node\": {},", args.workers);
+        let _ = writeln!(
+            out,
+            "  \"transport\": \"{}\",",
+            json_escape(&args.transport)
+        );
+        let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&args.engine));
+        let _ = writeln!(out, "  \"plan_mode\": \"{}\",", args.plan_mode.name());
+        let _ = writeln!(out, "  \"queries\": [");
+        out.push_str(&bench_lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
 
     let mut report = report_header(&args, bench.gen_ms, bench.load_ms);
     let _ = writeln!(report, "  \"total_ms\": {total_ms:.3},");

@@ -54,6 +54,8 @@
 //! cluster.shutdown();
 //! ```
 
+pub mod benchjson;
+
 pub use hsqp_engine as engine;
 pub use hsqp_net as net;
 pub use hsqp_numa as numa;

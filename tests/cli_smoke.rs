@@ -358,3 +358,114 @@ fn driver_builder_mode_matches_handwritten_row_counts() {
         );
     }
 }
+
+/// The observability surfaces end to end: `--analyze` prints an annotated
+/// tree to stderr, `--trace-out` writes well-formed trace JSON,
+/// `--bench-out` writes a `hsqp-bench-v1` file, `--metrics` dumps the
+/// registry — and `bench_check` accepts the fresh file against itself
+/// while rejecting a doctored row count.
+#[test]
+fn driver_observability_flags_and_bench_check_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hsqp_cli_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.json");
+    let bench = dir.join("bench.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hsqp"))
+        .args([
+            "--sf",
+            "0.005",
+            "--nodes",
+            "2",
+            "--queries",
+            "3,6",
+            "--analyze",
+            "--metrics",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .output()
+        .expect("driver ran");
+    assert!(
+        out.status.success(),
+        "observability run failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("Exchange Gather") && stderr.contains("net wait"),
+        "--analyze must print an annotated plan tree, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("queries.completed"),
+        "--metrics must print the registry, got:\n{stderr}"
+    );
+
+    let trace_doc = parse_json(&std::fs::read_to_string(&trace).expect("trace written"));
+    assert!(
+        !trace_doc.get("traceEvents").arr().is_empty(),
+        "trace must contain events"
+    );
+
+    let bench_text = std::fs::read_to_string(&bench).expect("bench written");
+    let bench_doc = parse_json(&bench_text);
+    assert_eq!(bench_doc.get("schema"), &Json::Str("hsqp-bench-v1".into()));
+    assert_eq!(bench_doc.get("queries").arr().len(), 2);
+
+    // bench_check: identity passes, doctored rows fail.
+    let check = |baseline: &std::path::Path, current: &std::path::Path| {
+        Command::new(env!("CARGO_BIN_EXE_bench_check"))
+            .args([
+                baseline.to_str().unwrap(),
+                current.to_str().unwrap(),
+                "--latency",
+                "warn",
+            ])
+            .output()
+            .expect("bench_check ran")
+    };
+    assert!(check(&bench, &bench).status.success());
+    let doctored = dir.join("doctored.json");
+    std::fs::write(
+        &doctored,
+        bench_text.replace("\"rows\": 1,", "\"rows\": 2,"),
+    )
+    .expect("doctored written");
+    let bad = check(&bench, &doctored);
+    assert!(
+        !bad.status.success(),
+        "bench_check must fail on row-count drift"
+    );
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("row count drifted"),
+        "drift must be reported"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// New observability flags reject bad values and bad mode combinations.
+#[test]
+fn driver_rejects_bad_observability_flags() {
+    for args in [
+        &["--profile", "maybe"][..],
+        &["--trace-out"][..],
+        &["--bench-out"][..],
+        // Profile-derived outputs need the serial mode.
+        &["--clients", "2", "--analyze"][..],
+        &["--rounds", "2", "--bench-out", "/tmp/x.json"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hsqp"))
+            .args(args)
+            .output()
+            .expect("driver ran");
+        assert!(!out.status.success(), "args {args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.starts_with("error: "),
+            "args {args:?} must fail with a usage error, got: {stderr}"
+        );
+    }
+}

@@ -510,3 +510,63 @@ fn random_shapes_execute_end_to_end() {
     }
     cluster.shutdown();
 }
+
+/// Regression: Int64 join keys must equi-join Float64 keys *by value*
+/// after a cross-node repartition. Both exchange bucketing and the join
+/// hash tables canonicalize exactly-representable integers into the f64
+/// key domain — if either side skipped the canonicalization, the two
+/// sides of a matching pair would land on different nodes (or in
+/// different hash buckets) and the join would silently drop rows.
+#[test]
+fn int64_and_float64_keys_co_partition_across_nodes() {
+    use hsqp::engine::plan::{JoinKind, Plan};
+    use hsqp::engine::queries::Query;
+    use hsqp::storage::{Column, DataType, Field, Schema};
+
+    let nodes: u16 = 3;
+    let cluster = Cluster::start(ClusterConfig::quick(nodes)).unwrap();
+
+    // Int64 side: keys 0..150, dealt round-robin across the nodes.
+    let int_schema = Schema::new(vec![Field::new("ik", DataType::Int64)]);
+    let int_parts: Vec<Table> = (0..nodes as i64)
+        .map(|p| {
+            let keys: Vec<i64> = (0..150).filter(|k| k % nodes as i64 == p).collect();
+            Table::new(int_schema.clone(), vec![Column::I64(keys, None)])
+        })
+        .collect();
+
+    // Float64 side: every third key as f64 — with key 0 written as -0.0 to
+    // exercise zero canonicalization — dealt with a deliberate offset so
+    // matching pairs start on *different* nodes and must be repartitioned.
+    let f_schema = Schema::new(vec![Field::new("fk", DataType::Float64)]);
+    let f_parts: Vec<Table> = (0..nodes as i64)
+        .map(|p| {
+            let keys: Vec<f64> = (0..150)
+                .filter(|k| k % 3 == 0 && (k / 3) % nodes as i64 == p)
+                .map(|k| if k == 0 { -0.0 } else { k as f64 })
+                .collect();
+            Table::new(f_schema.clone(), vec![Column::F64(keys, None)])
+        })
+        .collect();
+
+    cluster.load_table(TpchTable::Nation, int_parts).unwrap();
+    cluster.load_table(TpchTable::Region, f_parts).unwrap();
+
+    let plan = Plan::scan(TpchTable::Nation)
+        .repartition(&["ik"])
+        .join(
+            Plan::scan(TpchTable::Region).repartition(&["fk"]),
+            &["ik"],
+            &["fk"],
+            JoinKind::Inner,
+        )
+        .gather();
+    let result = cluster.run(&Query::single(0, plan)).unwrap();
+    // 50 float keys (0, 3, .., 147), each matching exactly one int key.
+    assert_eq!(
+        result.row_count(),
+        50,
+        "mixed Int64/Float64 join dropped or duplicated matches"
+    );
+    cluster.shutdown();
+}
