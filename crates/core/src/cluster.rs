@@ -30,7 +30,7 @@ use hsqp_net::{
 };
 use hsqp_numa::{AllocPolicy, CostModel, Topology};
 use hsqp_storage::placement::{chunk_split, hash_partition, Placement};
-use hsqp_storage::{decimal_to_f64, DataType, Table, Value};
+use hsqp_storage::{decimal_to_f64, DataType, Schema, Table, Value};
 use hsqp_tpch::{TpchDb, TpchTable};
 
 use crate::error::EngineError;
@@ -42,6 +42,7 @@ use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
 use crate::plan::Plan;
 use crate::profile::{plan_node_count, QueryProfile, StageRecorder};
 use crate::queries::{Query, QueryStage, StageRole};
+use crate::vm::{compile_stage, CompiledStage};
 
 /// Which network stack the multiplexers use (the three lines of Figure 3).
 #[derive(Debug, Clone)]
@@ -106,6 +107,19 @@ pub enum EngineKind {
     Classic,
 }
 
+/// How the nodes evaluate filter/map/aggregate expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExprEngine {
+    /// Compile expressions once at submit time into flat
+    /// [`ExprProgram`](crate::vm::ExprProgram)s run by the vector VM;
+    /// anything that cannot be compiled or bound falls back to the tree
+    /// walker per operator.
+    #[default]
+    Compiled,
+    /// Tree-walking interpreter only (the differential oracle).
+    Ast,
+}
+
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -140,6 +154,9 @@ pub struct ClusterConfig {
     /// recorder is lock-free atomics per node thread; turning it off
     /// removes even that overhead for benchmark baselines.
     pub profiling: bool,
+    /// Expression engine: compiled vector programs (default) or the
+    /// tree-walking oracle.
+    pub expr_engine: ExprEngine,
 }
 
 impl ClusterConfig {
@@ -161,6 +178,7 @@ impl ClusterConfig {
             switch_contention: true,
             max_concurrent: 4,
             profiling: true,
+            expr_engine: ExprEngine::Compiled,
         }
     }
 
@@ -345,6 +363,9 @@ impl QueryHandle {
 /// One admitted query waiting for (or holding) a dispatcher slot.
 struct Submission {
     stages: Vec<QueryStage>,
+    /// Compiled expression programs per stage (compile-once at submit
+    /// time; `None` = no program compiled, run the tree walker).
+    programs: Vec<Option<CompiledStage>>,
     submitted: Instant,
     shared: Arc<QueryShared>,
 }
@@ -649,6 +670,39 @@ impl Cluster {
         loaded.then_some(total)
     }
 
+    /// Compile every stage's expression sites once, at submit time
+    /// (compile-once / execute-many: dispatcher threads and all node
+    /// threads share the same programs). Never fails: whatever cannot be
+    /// compiled simply stays on the tree walker, and
+    /// [`ExprEngine::Ast`] skips compilation entirely.
+    fn compile_programs(&self, query: &Query) -> Vec<Option<CompiledStage>> {
+        if self.inner.cfg.expr_engine == ExprEngine::Ast {
+            return vec![None; query.stages.len()];
+        }
+        let base = |t: TpchTable| {
+            self.inner.nodes[0]
+                .tables
+                .read()
+                .get(&t)
+                .map(|tbl| tbl.schema().clone())
+        };
+        // Materialized temps become compile targets for later stages.
+        let mut temps: HashMap<String, Schema> = HashMap::new();
+        query
+            .stages
+            .iter()
+            .map(|stage| {
+                let (compiled, schema) = compile_stage(&stage.plan, &base, &temps);
+                if let StageRole::Materialize(name) = &stage.role {
+                    if let Some(s) = schema {
+                        temps.insert(name.clone(), s);
+                    }
+                }
+                (!compiled.is_empty()).then_some(compiled)
+            })
+            .collect()
+    }
+
     /// Submit a query for asynchronous execution, returning immediately
     /// with a [`QueryHandle`]. At most
     /// [`max_concurrent`](ClusterConfig::max_concurrent) queries run at
@@ -672,6 +726,7 @@ impl Cluster {
         });
         let submission = Submission {
             stages: query.stages.clone(),
+            programs: self.compile_programs(query),
             submitted: Instant::now(),
             shared: Arc::clone(&shared),
         };
@@ -862,10 +917,23 @@ impl ClusterInner {
             let recorder = self.cfg.profiling.then(|| {
                 StageRecorder::new(sub.submitted, self.cfg.nodes, plan_node_count(&stage.plan))
             });
-            let results = self.execute_spmd(query, &stage.plan, &params, base, recorder.as_ref());
+            let programs = sub.programs.get(stage_idx).and_then(Option::as_ref);
+            let results = self.execute_spmd(
+                query,
+                &stage.plan,
+                &params,
+                base,
+                recorder.as_ref(),
+                programs,
+            );
             self.dm.stage_rounds.inc();
             if let Some(rec) = &recorder {
-                let profile = rec.finish(&stage.plan, stage.role.label(), stage.estimated_rows);
+                let profile = rec.finish(
+                    &stage.plan,
+                    programs,
+                    stage.role.label(),
+                    stage.estimated_rows,
+                );
                 sub.shared.profile.lock().stages.push(profile);
             }
             match &stage.role {
@@ -939,6 +1007,7 @@ impl ClusterInner {
         params: &[Value],
         base: u32,
         recorder: Option<&StageRecorder>,
+        programs: Option<&CompiledStage>,
     ) -> Vec<Batch> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -950,6 +1019,7 @@ impl ClusterInner {
                     scope.spawn(move || {
                         NodeExec::new(ctx, query, params, base)
                             .with_recorder(node_rec)
+                            .with_programs(programs)
                             .execute(plan)
                     })
                 })

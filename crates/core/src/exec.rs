@@ -29,9 +29,12 @@ use crate::exchange::{
 };
 use crate::expr::{eval, Expr};
 use crate::local::MorselDriver;
-use crate::ops::{aggregate, canon_f64_bits, i64_as_f64_exact, probe_join, sort_table, JoinTable};
+use crate::ops::{
+    aggregate_with, canon_f64_bits, i64_as_f64_exact, probe_join, sort_table, JoinTable,
+};
 use crate::plan::{ExchangeKind, MapExpr, Plan};
 use crate::profile::{plan_node_count, NodeRecorder};
+use crate::vm::{BoundProgram, CompiledStage, ExprProgram, OpPrograms};
 use crate::wire::{RowDeserializer, RowSerializer};
 
 /// Shared, long-lived state of one simulated server node.
@@ -152,6 +155,7 @@ pub struct NodeExec<'a> {
     params: &'a [Value],
     next_exchange: AtomicU32,
     recorder: Option<&'a NodeRecorder>,
+    programs: Option<&'a CompiledStage>,
 }
 
 impl<'a> NodeExec<'a> {
@@ -167,6 +171,7 @@ impl<'a> NodeExec<'a> {
             params,
             next_exchange: AtomicU32::new(exchange_base),
             recorder: None,
+            programs: None,
         }
     }
 
@@ -175,6 +180,19 @@ impl<'a> NodeExec<'a> {
     pub fn with_recorder(mut self, recorder: Option<&'a NodeRecorder>) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Attach the stage's compiled expression programs (same pre-order
+    /// operator numbering as the recorder). Operators without a program —
+    /// or whose program fails to bind against the runtime table — fall
+    /// back to the tree-walking evaluator.
+    pub fn with_programs(mut self, programs: Option<&'a CompiledStage>) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    fn programs_at(&self, idx: usize) -> Option<&'a OpPrograms> {
+        self.programs.and_then(|p| p.get(idx))
     }
 
     /// Execute `plan`, returning this node's share of the result.
@@ -199,10 +217,21 @@ impl<'a> NodeExec<'a> {
                 let rows_in = t.rows() as u64;
                 let out = match (filter, project) {
                     (Some(pred), project) => {
-                        let filtered = self.parallel_filter(&t, pred);
+                        // Filter to a selection vector first, then gather
+                        // only the surviving rows of the projected columns
+                        // — never materializing pruned columns.
+                        let prog = self.programs_at(idx).and_then(|p| p.filter.as_ref());
+                        let indices = self.filter_indices(&t, pred, prog);
                         Batch::Owned(match project {
-                            Some(names) => project_table(&filtered, names),
-                            None => filtered,
+                            Some(names) => {
+                                let cols: Vec<usize> =
+                                    names.iter().map(|n| t.schema().index_of(n)).collect();
+                                Table::new(
+                                    t.schema().project(&cols),
+                                    cols.iter().map(|&c| t.column(c).gather(&indices)).collect(),
+                                )
+                            }
+                            None => t.gather(&indices),
                         })
                     }
                     (None, Some(names)) => Batch::Owned(project_table(&t, names)),
@@ -224,12 +253,15 @@ impl<'a> NodeExec<'a> {
             Plan::Filter { input, predicate } => {
                 let t = self.execute_at(input, idx + 1);
                 let rows_in = t.rows() as u64;
-                (Batch::Owned(self.parallel_filter(&t, predicate)), rows_in)
+                let prog = self.programs_at(idx).and_then(|p| p.filter.as_ref());
+                let indices = self.filter_indices(&t, predicate, prog);
+                (Batch::Owned(t.gather(&indices)), rows_in)
             }
             Plan::Map { input, outputs } => {
                 let t = self.execute_at(input, idx + 1);
                 let rows_in = t.rows() as u64;
-                (Batch::Owned(self.parallel_map(&t, outputs)), rows_in)
+                let progs = self.programs_at(idx);
+                (Batch::Owned(self.parallel_map(&t, outputs, progs)), rows_in)
             }
             Plan::HashJoin {
                 probe,
@@ -273,13 +305,14 @@ impl<'a> NodeExec<'a> {
                 let rows_in = t.rows() as u64;
                 let group_idx: Vec<usize> =
                     group_by.iter().map(|g| t.schema().index_of(g)).collect();
-                let out = Batch::Owned(aggregate(
+                let out = Batch::Owned(aggregate_with(
                     &t,
                     &group_idx,
                     aggs,
                     *phase,
                     &self.ctx.driver,
                     self.params,
+                    self.programs_at(idx).map(|p| p.aggs.as_slice()),
                 ));
                 (out, rows_in)
             }
@@ -303,12 +336,18 @@ impl<'a> NodeExec<'a> {
 
     // -- local pipelines ----------------------------------------------------
 
-    fn parallel_filter(&self, t: &Table, pred: &Expr) -> Table {
+    /// Evaluate a predicate morsel-parallel into a sorted selection
+    /// vector, via the compiled program when one is supplied (and binds).
+    fn filter_indices(&self, t: &Table, pred: &Expr, prog: Option<&ExprProgram>) -> Vec<usize> {
+        let bound: Option<BoundProgram<'_>> = prog.and_then(|p| p.bind(t).ok());
         let parts = self.ctx.driver.run(
             t.rows(),
             |_| Vec::<usize>::new(),
             |keep, _, m| {
-                let mask = eval(pred, t, m.range(), self.params).into_mask();
+                let mask = match &bound {
+                    Some(b) => b.eval_mask(t, m.range(), self.params),
+                    None => eval(pred, t, m.range(), self.params).into_mask(),
+                };
                 for (i, k) in mask.into_iter().enumerate() {
                     if k {
                         keep.push(m.start + i);
@@ -318,10 +357,19 @@ impl<'a> NodeExec<'a> {
         );
         let mut indices: Vec<usize> = parts.into_iter().flatten().collect();
         indices.sort_unstable();
-        t.gather(&indices)
+        indices
     }
 
-    fn parallel_map(&self, t: &Table, outputs: &[MapExpr]) -> Table {
+    fn parallel_map(&self, t: &Table, outputs: &[MapExpr], progs: Option<&OpPrograms>) -> Table {
+        // Bind this operator's compiled output programs once.
+        let bound: Vec<Option<BoundProgram<'_>>> = match progs {
+            Some(ps) if ps.outputs.len() == outputs.len() => ps
+                .outputs
+                .iter()
+                .map(|(_, p)| p.as_ref().and_then(|p| p.bind(t).ok()))
+                .collect(),
+            _ => (0..outputs.len()).map(|_| None).collect(),
+        };
         let parts = self.ctx.driver.run(
             t.rows(),
             |_| Vec::<(usize, Vec<Column>)>::new(),
@@ -331,12 +379,14 @@ impl<'a> NodeExec<'a> {
                 let mut indices: Option<Vec<usize>> = None;
                 let cols: Vec<Column> = outputs
                     .iter()
-                    .map(|o| match &o.expr {
+                    .zip(&bound)
+                    .map(|(o, b)| match (b, &o.expr) {
+                        (Some(bp), _) => bp.eval(t, m.range(), self.params).into_column().0,
                         // Bare column references pass through raw: evaluating
                         // them would promote Decimal columns to f64 and lose
                         // the fixed-point representation (and the Date/Decimal
                         // logical type) across the projection.
-                        Expr::Col(name) if o.dtype.is_none() => {
+                        (None, Expr::Col(name)) if o.dtype.is_none() => {
                             let indices = indices.get_or_insert_with(|| m.range().collect());
                             t.column(t.schema().index_of(name)).gather(indices)
                         }

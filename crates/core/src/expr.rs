@@ -252,6 +252,57 @@ impl Expr {
         }
     }
 
+    /// Constant-fold literal-only subtrees, preserving [`eval`] semantics
+    /// exactly: integer comparisons stay integer, division promotes to
+    /// float, `NaN` comparisons stay false. Foldings that would change
+    /// runtime behaviour (integer overflow, type errors the evaluator
+    /// reports by panicking) are left untouched. `AND`/`OR` drop children
+    /// known to be neutral (`TRUE` in a conjunction, `FALSE` in a
+    /// disjunction); a boolean-valued subtree has no literal form and is
+    /// otherwise kept as written.
+    #[must_use]
+    pub fn fold(&self) -> Expr {
+        if let Some(v) = fold_const(self) {
+            match v {
+                FoldVal::I64(x) => return Expr::LitI64(x),
+                FoldVal::F64(x) => return Expr::LitF64(x),
+                FoldVal::Str(s) => return Expr::LitStr(s),
+                // No boolean literal exists; the VM folds these at compile
+                // time instead (`ConstBool`).
+                FoldVal::Bool(_) => {}
+            }
+        }
+        match self {
+            Expr::Col(_) | Expr::LitI64(_) | Expr::LitF64(_) | Expr::LitStr(_) | Expr::Param(_) => {
+                self.clone()
+            }
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(a.fold()), Box::new(b.fold())),
+            Expr::And(cs) => Expr::And(
+                cs.iter()
+                    .map(Expr::fold)
+                    .filter(|c| !matches!(fold_const(c), Some(FoldVal::Bool(true))))
+                    .collect(),
+            ),
+            Expr::Or(cs) => Expr::Or(
+                cs.iter()
+                    .map(Expr::fold)
+                    .filter(|c| !matches!(fold_const(c), Some(FoldVal::Bool(false))))
+                    .collect(),
+            ),
+            Expr::Not(c) => Expr::Not(Box::new(c.fold())),
+            Expr::Arith(op, a, b) => Expr::Arith(*op, Box::new(a.fold()), Box::new(b.fold())),
+            Expr::Like(c, p) => Expr::Like(Box::new(c.fold()), p.clone()),
+            Expr::InStr(c, o) => Expr::InStr(Box::new(c.fold()), o.clone()),
+            Expr::InI64(c, o) => Expr::InI64(Box::new(c.fold()), o.clone()),
+            Expr::Substr(c, s, l) => Expr::Substr(Box::new(c.fold()), *s, *l),
+            Expr::ExtractYear(c) => Expr::ExtractYear(Box::new(c.fold())),
+            Expr::Case(c, t, e) => {
+                Expr::Case(Box::new(c.fold()), Box::new(t.fold()), Box::new(e.fold()))
+            }
+            Expr::IsNull(c) => Expr::IsNull(Box::new(c.fold())),
+        }
+    }
+
     /// The largest [`Expr::Param`] index referenced by this expression, if
     /// any. The planner uses this to reject stages that reference
     /// parameters no earlier stage binds.
@@ -547,18 +598,25 @@ fn expect_str(v: &EvalVec) -> &StringColumn {
     }
 }
 
-fn eval_cmp(op: CmpOp, a: &EvalVec, b: &EvalVec) -> EvalVec {
+/// Whether ordering `o` satisfies comparison `op` — the single definition
+/// shared by the tree walker, constant folding, and the compiled VM so the
+/// three can never disagree.
+pub(crate) fn cmp_keeps(op: CmpOp, o: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering;
-    let n = a.len();
-    assert_eq!(n, b.len(), "comparison arity mismatch");
-    let ord_ok = |o: Ordering| match op {
+    match op {
         CmpOp::Eq => o == Ordering::Equal,
         CmpOp::Ne => o != Ordering::Equal,
         CmpOp::Lt => o == Ordering::Less,
         CmpOp::Le => o != Ordering::Greater,
         CmpOp::Gt => o == Ordering::Greater,
         CmpOp::Ge => o != Ordering::Less,
-    };
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: &EvalVec, b: &EvalVec) -> EvalVec {
+    let n = a.len();
+    assert_eq!(n, b.len(), "comparison arity mismatch");
+    let ord_ok = |o| cmp_keeps(op, o);
     let mut mask = Vec::with_capacity(n);
     match (&a.data, &b.data) {
         (VecData::I64(x), VecData::I64(y)) => {
@@ -718,6 +776,145 @@ impl LikeMatcher {
             }
         }
         true
+    }
+}
+
+/// The value a literal-only subtree folds to at plan/compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FoldVal {
+    /// Integer (also dates).
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean (no [`Expr`] literal form; consumed by the VM compiler).
+    Bool(bool),
+}
+
+impl FoldVal {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            FoldVal::I64(x) => Some(*x as f64),
+            FoldVal::F64(x) => Some(*x),
+            FoldVal::Str(_) | FoldVal::Bool(_) => None,
+        }
+    }
+}
+
+/// Fold a literal-only expression to its value, mirroring [`eval`] exactly.
+/// Returns `None` for anything whose value depends on the input table or on
+/// query parameters, and for foldings that would change observable
+/// behaviour: integer overflow (panics in debug builds, wraps in release —
+/// folding would move the panic to plan time) and type errors (the
+/// evaluator reports those by panicking during execution).
+pub(crate) fn fold_const(e: &Expr) -> Option<FoldVal> {
+    match e {
+        Expr::Col(_) | Expr::Param(_) => None,
+        Expr::LitI64(v) => Some(FoldVal::I64(*v)),
+        Expr::LitF64(v) => Some(FoldVal::F64(*v)),
+        Expr::LitStr(s) => Some(FoldVal::Str(s.clone())),
+        Expr::Cmp(op, a, b) => {
+            let (a, b) = (fold_const(a)?, fold_const(b)?);
+            let ok = match (&a, &b) {
+                (FoldVal::I64(x), FoldVal::I64(y)) => cmp_keeps(*op, x.cmp(y)),
+                (FoldVal::Str(x), FoldVal::Str(y)) => cmp_keeps(*op, x.as_str().cmp(y)),
+                _ => {
+                    let (x, y) = (a.as_f64()?, b.as_f64()?);
+                    // NaN comparisons are false for every operator,
+                    // including `<>`, exactly like [`eval_cmp`].
+                    x.partial_cmp(&y).is_some_and(|o| cmp_keeps(*op, o))
+                }
+            };
+            Some(FoldVal::Bool(ok))
+        }
+        Expr::And(children) => {
+            let mut acc = true;
+            for c in children {
+                match fold_const(c)? {
+                    FoldVal::Bool(b) => acc = acc && b,
+                    _ => return None,
+                }
+            }
+            Some(FoldVal::Bool(acc))
+        }
+        Expr::Or(children) => {
+            let mut acc = false;
+            for c in children {
+                match fold_const(c)? {
+                    FoldVal::Bool(b) => acc = acc || b,
+                    _ => return None,
+                }
+            }
+            Some(FoldVal::Bool(acc))
+        }
+        Expr::Not(c) => match fold_const(c)? {
+            FoldVal::Bool(b) => Some(FoldVal::Bool(!b)),
+            _ => None,
+        },
+        Expr::Arith(op, a, b) => {
+            let (a, b) = (fold_const(a)?, fold_const(b)?);
+            if let (FoldVal::I64(x), FoldVal::I64(y)) = (&a, &b) {
+                if *op != ArithOp::Div {
+                    // Checked: folding an overflow would turn a debug-build
+                    // execution panic into a plan-time panic.
+                    let v = match op {
+                        ArithOp::Add => x.checked_add(*y),
+                        ArithOp::Sub => x.checked_sub(*y),
+                        ArithOp::Mul => x.checked_mul(*y),
+                        ArithOp::Div => unreachable!(),
+                    }?;
+                    return Some(FoldVal::I64(v));
+                }
+            }
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            Some(FoldVal::F64(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+            }))
+        }
+        Expr::Like(c, pattern) => match fold_const(c)? {
+            FoldVal::Str(s) => Some(FoldVal::Bool(LikeMatcher::new(pattern).matches(&s))),
+            _ => None,
+        },
+        Expr::InStr(c, options) => match fold_const(c)? {
+            FoldVal::Str(s) => Some(FoldVal::Bool(options.contains(&s))),
+            _ => None,
+        },
+        Expr::InI64(c, options) => match fold_const(c)? {
+            FoldVal::I64(x) => Some(FoldVal::Bool(options.contains(&x))),
+            _ => None,
+        },
+        Expr::Substr(c, start, len) => match fold_const(c)? {
+            FoldVal::Str(s) => {
+                if *start == 0 {
+                    return None; // underflows in eval; keep the runtime behaviour
+                }
+                let from = (*start - 1).min(s.len());
+                let to = (from + *len).min(s.len());
+                Some(FoldVal::Str(s.get(from..to).unwrap_or("").to_string()))
+            }
+            _ => None,
+        },
+        Expr::ExtractYear(c) => match fold_const(c)? {
+            FoldVal::I64(d) => Some(FoldVal::I64(hsqp_storage::year_of_date(d))),
+            _ => None,
+        },
+        Expr::Case(cond, then, els) => {
+            // `eval` is strict in both branches, so fold only when all
+            // three parts fold (a non-folding branch could panic).
+            let (c, t, e) = (fold_const(cond)?, fold_const(then)?, fold_const(els)?);
+            let FoldVal::Bool(c) = c else { return None };
+            if let (FoldVal::I64(t), FoldVal::I64(e)) = (&t, &e) {
+                return Some(FoldVal::I64(if c { *t } else { *e }));
+            }
+            let (t, e) = (t.as_f64()?, e.as_f64()?);
+            Some(FoldVal::F64(if c { t } else { e }))
+        }
+        // A folded operand is a literal, and literals are never NULL.
+        Expr::IsNull(c) => fold_const(c).map(|_| FoldVal::Bool(false)),
     }
 }
 
@@ -901,5 +1098,50 @@ mod tests {
         let (c, dt) = v.into_column();
         assert_eq!(dt, DataType::Int64);
         assert_eq!(c.i64_values(), &[2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_collapses_literal_subtrees() {
+        assert_eq!(lit(2).add(lit(3)).fold(), lit(5));
+        assert_eq!(lit(10).div(lit(4)).fold(), litf(2.5));
+        assert_eq!(lits("ab").substr(1, 1).fold(), lits("a"));
+        assert_eq!(lit_date(1995, 6, 1).year().fold(), lit(1995));
+        // Mixed subtrees fold only their constant parts.
+        assert_eq!(
+            col("k").add(lit(2).mul(lit(3))).fold(),
+            col("k").add(lit(6))
+        );
+    }
+
+    #[test]
+    fn fold_preserves_eval_semantics() {
+        // Integer comparison stays integer; float NaN comparisons stay false.
+        assert_eq!(fold_const(&lit(3).lt(lit(4))), Some(FoldVal::Bool(true)));
+        assert_eq!(
+            fold_const(&litf(f64::NAN).ne(litf(1.0))),
+            Some(FoldVal::Bool(false))
+        );
+        // Division by zero promotes to float infinity, it does not panic.
+        assert_eq!(
+            fold_const(&lit(1).div(lit(0))),
+            Some(FoldVal::F64(f64::INFINITY))
+        );
+        // Overflow does not fold (eval panics in debug builds).
+        assert_eq!(fold_const(&lit(i64::MAX).add(lit(1))), None);
+        // Type errors do not fold (eval panics at runtime).
+        assert_eq!(fold_const(&lits("x").add(lit(1))), None);
+        assert_eq!(fold_const(&Expr::And(vec![lit(1)])), None);
+    }
+
+    #[test]
+    fn fold_drops_neutral_boolean_children() {
+        let e = col("k").gt(lit(2)).and(lit(1).lt(lit(2)));
+        assert_eq!(e.fold(), Expr::And(vec![col("k").gt(lit(2))]));
+        let t = test_table();
+        let folded = e.fold();
+        assert_eq!(
+            eval(&e, &t, 0..4, &[]).into_mask(),
+            eval(&folded, &t, 0..4, &[]).into_mask()
+        );
     }
 }

@@ -58,9 +58,12 @@ pub mod planner;
 pub mod profile;
 pub mod queries;
 pub mod session;
+pub mod vm;
 pub mod wire;
 
-pub use cluster::{Cluster, ClusterConfig, EngineKind, QueryHandle, QueryResult, Transport};
+pub use cluster::{
+    Cluster, ClusterConfig, EngineKind, ExprEngine, QueryHandle, QueryResult, Transport,
+};
 pub use error::EngineError;
 pub use expr::Expr;
 pub use hsqp_net::QueryId;
@@ -70,3 +73,4 @@ pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
 pub use planner::{Planner, PlannerConfig, TableStats};
 pub use profile::{chrome_trace, QueryProfile};
 pub use session::{Session, SessionBuilder};
+pub use vm::{CompiledStage, ExprProgram};

@@ -14,6 +14,7 @@ use hsqp_storage::{decimal_to_f64, Bitmap, Column, DataType, Field, Schema, Tabl
 use crate::expr::{eval, EvalVec, VecData};
 use crate::local::MorselDriver;
 use crate::plan::{AggFunc, AggPhase, AggSpec, JoinKind, SortKey};
+use crate::vm::{BoundProgram, ExprProgram};
 
 /// A fast, non-cryptographic hasher for join/aggregation keys (FxHash's
 /// multiply-xor scheme; HashDoS is not a concern inside a query engine).
@@ -448,6 +449,24 @@ pub fn aggregate(
     driver: &MorselDriver,
     params: &[Value],
 ) -> Table {
+    aggregate_with(input, group_by, aggs, phase, driver, params, None)
+}
+
+/// [`aggregate`] with optional compiled input programs (one slot per
+/// aggregate, aligned by position; see
+/// [`OpPrograms::aggs`](crate::vm::OpPrograms::aggs)). Programs are bound
+/// once against `input` here — a slot whose bind fails silently reverts to
+/// the tree walker for that aggregate alone. `Final`-phase merges read
+/// partial-state columns directly and take no programs.
+pub fn aggregate_with(
+    input: &Table,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    phase: AggPhase,
+    driver: &MorselDriver,
+    params: &[Value],
+    programs: Option<&[(String, Option<ExprProgram>)]>,
+) -> Table {
     assert!(
         phase == AggPhase::Final
             || !aggs
@@ -481,6 +500,15 @@ pub fn aggregate(
 
     let group_cols: Vec<&Column> = group_by.iter().map(|&i| input.column(i)).collect();
 
+    // Bind compiled input programs once, not per morsel.
+    let bound: Vec<Option<BoundProgram<'_>>> = match programs {
+        Some(ps) if phase != AggPhase::Final && ps.len() == aggs.len() => ps
+            .iter()
+            .map(|(_, p)| p.as_ref().and_then(|p| p.bind(input).ok()))
+            .collect(),
+        _ => (0..aggs.len()).map(|_| None).collect(),
+    };
+
     let maps = driver.run(
         input.rows(),
         |_| FxMap::<Key, Vec<AggState>>::default(),
@@ -488,7 +516,11 @@ pub fn aggregate(
             // Evaluate agg inputs once per morsel.
             let inputs: Vec<AggInput> = effective
                 .iter()
-                .map(|(func, e)| AggInput::eval(e, *func, input, m.range(), params))
+                .zip(&bound)
+                .map(|((func, e), b)| match b {
+                    Some(bp) => AggInput::Vec(bp.eval(input, m.range(), params)),
+                    None => AggInput::eval(e, *func, input, m.range(), params),
+                })
                 .collect();
             for row in m.range() {
                 let key = key_of(&group_cols, row);

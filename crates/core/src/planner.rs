@@ -208,7 +208,7 @@ impl Planner {
     /// complete on the coordinator (node 0).
     pub fn plan(&self, logical: &LogicalPlan) -> Result<Plan, EngineError> {
         let lowered = self.lower(logical, None)?;
-        Ok(finish_on_coordinator(lowered))
+        Ok(fold_plan(finish_on_coordinator(lowered)))
     }
 
     /// Lower a multi-stage [`LogicalQuery`] to a physical [`Query`].
@@ -283,7 +283,7 @@ impl Planner {
             };
             p.ctes.insert(name.clone(), CteInfo { cols, part, est });
             stages.push(QueryStage {
-                plan: mplan,
+                plan: fold_plan(mplan),
                 role: StageRole::Materialize(name.clone()),
                 estimated_rows: Some(est),
             });
@@ -307,7 +307,7 @@ impl Planner {
             let lowered = p.lower(stage, None)?;
             let n_cols = lowered.cols.len();
             let est = lowered.est;
-            let plan = finish_on_coordinator(lowered);
+            let plan = fold_plan(finish_on_coordinator(lowered));
             if i == last {
                 stages.push(QueryStage {
                     plan,
@@ -1073,6 +1073,78 @@ fn join_plan(
         probe_keys: probe_keys.to_vec(),
         build_keys: build_keys.to_vec(),
         kind,
+    }
+}
+
+/// Constant-fold every expression site of a lowered physical plan:
+/// literal-only subtrees collapse to single literals before the stage is
+/// compiled for the vector VM (and the tree-walking oracle skips the same
+/// re-computation per morsel).
+fn fold_plan(plan: Plan) -> Plan {
+    match plan {
+        Plan::Scan {
+            table,
+            filter,
+            project,
+        } => Plan::Scan {
+            table,
+            filter: filter.map(|f| f.fold()),
+            project,
+        },
+        Plan::TempScan { .. } => plan,
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(fold_plan(*input)),
+            predicate: predicate.fold(),
+        },
+        Plan::Map { input, outputs } => Plan::Map {
+            input: Box::new(fold_plan(*input)),
+            outputs: outputs
+                .into_iter()
+                .map(|mut o| {
+                    o.expr = o.expr.fold();
+                    o
+                })
+                .collect(),
+        },
+        Plan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            kind,
+        } => Plan::HashJoin {
+            probe: Box::new(fold_plan(*probe)),
+            build: Box::new(fold_plan(*build)),
+            probe_keys,
+            build_keys,
+            kind,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            phase,
+        } => Plan::Aggregate {
+            input: Box::new(fold_plan(*input)),
+            group_by,
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.expr = a.expr.fold();
+                    a
+                })
+                .collect(),
+            phase,
+        },
+        Plan::Sort { input, keys, limit } => Plan::Sort {
+            input: Box::new(fold_plan(*input)),
+            keys,
+            limit,
+        },
+        Plan::Exchange { input, kind } => Plan::Exchange {
+            input: Box::new(fold_plan(*input)),
+            kind,
+        },
     }
 }
 

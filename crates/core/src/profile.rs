@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use hsqp_net::QueryId;
 
 use crate::plan::Plan;
+use crate::vm::CompiledStage;
 
 /// Number of operators in a plan tree (pre-order span cells are sized by
 /// this; see [`plan_labels`] for the index order).
@@ -47,7 +48,21 @@ pub fn plan_node_count(plan: &Plan) -> usize {
 /// cell: a node's first child is `i + 1`, its second child (joins) is
 /// `i + 1 + plan_node_count(first_child)`.
 pub fn plan_labels(plan: &Plan) -> Vec<(String, usize)> {
-    plan.explain()
+    labels_from(&plan.explain())
+}
+
+/// [`plan_labels`], with compiled-program ids woven into the labels when
+/// the stage ran on the vector VM — profile rows then name the same `p0`,
+/// `p1`, … programs `--explain` lists.
+pub fn plan_labels_with(plan: &Plan, programs: Option<&CompiledStage>) -> Vec<(String, usize)> {
+    match programs {
+        Some(p) => labels_from(&p.annotate(plan)),
+        None => plan_labels(plan),
+    }
+}
+
+fn labels_from(explain: &str) -> Vec<(String, usize)> {
+    explain
         .lines()
         .map(|line| {
             let trimmed = line.trim_start();
@@ -181,8 +196,14 @@ impl StageRecorder {
     }
 
     /// Merge the recorded cells into a plain-data [`StageProfile`].
-    pub fn finish(&self, plan: &Plan, role: String, estimated_rows: Option<f64>) -> StageProfile {
-        let labels = plan_labels(plan);
+    pub fn finish(
+        &self,
+        plan: &Plan,
+        programs: Option<&CompiledStage>,
+        role: String,
+        estimated_rows: Option<f64>,
+    ) -> StageProfile {
+        let labels = plan_labels_with(plan, programs);
         debug_assert_eq!(labels.len(), self.nodes.first().map_or(0, |n| n.ops.len()));
         let ops: Vec<OpProfile> = labels
             .into_iter()
@@ -671,7 +692,7 @@ mod tests {
         rec.node(1).op_exit(0, 20, 7);
         rec.node(0).net_send(2, 1024, 2);
         rec.node(0).add_consume(2, Duration::from_micros(50), 3);
-        let sp = rec.finish(&plan, "result".into(), Some(42.0));
+        let sp = rec.finish(&plan, None, "result".into(), Some(42.0));
         assert_eq!(sp.ops.len(), 5);
         // Result stages count the coordinator's root output only; the raw
         // per-operator accessors still sum across nodes.
@@ -697,7 +718,7 @@ mod tests {
             )
             .gather();
         let rec = StageRecorder::new(Instant::now(), 1, plan_node_count(&plan));
-        let sp = rec.finish(&plan, "result".into(), None);
+        let sp = rec.finish(&plan, None, "result".into(), None);
         assert_eq!(sp.children_of(0), vec![1]);
         assert_eq!(sp.children_of(1), vec![2, 3]);
         assert!(sp.children_of(2).is_empty());
@@ -714,7 +735,7 @@ mod tests {
         let mut profile = QueryProfile::new(QueryId(7), 3);
         profile
             .stages
-            .push(rec.finish(&plan, "result".into(), Some(9.0)));
+            .push(rec.finish(&plan, None, "result".into(), Some(9.0)));
         let text = profile.render();
         assert!(text.contains("stage 1/1: result"));
         assert!(text.contains("est ~9 rows"));

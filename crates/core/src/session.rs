@@ -29,7 +29,9 @@
 
 use hsqp_tpch::TpchDb;
 
-use crate::cluster::{Cluster, ClusterConfig, EngineKind, QueryHandle, QueryResult, Transport};
+use crate::cluster::{
+    Cluster, ClusterConfig, EngineKind, ExprEngine, QueryHandle, QueryResult, Transport,
+};
 use crate::error::EngineError;
 use crate::logical::{LogicalPlan, LogicalQuery};
 use crate::plan::Plan;
@@ -98,6 +100,13 @@ impl SessionBuilder {
     /// baselines.
     pub fn profiling(mut self, on: bool) -> Self {
         self.cfg.profiling = on;
+        self
+    }
+
+    /// Expression engine: the compiled vector VM (default) or the
+    /// tree-walking AST interpreter retained as the differential oracle.
+    pub fn expr_engine(mut self, engine: ExprEngine) -> Self {
+        self.cfg.expr_engine = engine;
         self
     }
 

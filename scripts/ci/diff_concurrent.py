@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Check a multi-client throughput report against the serial reference.
+
+Usage: diff_concurrent.py SERIAL.json CONCURRENT.json
+
+The concurrent run must cover every query the serial run covered, report
+zero failures, and agree on every row count; on success the throughput
+digest is printed for the job log.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        raise SystemExit("usage: diff_concurrent.py SERIAL.json CONCURRENT.json")
+    with open(argv[0]) as f:
+        serial = json.load(f)
+    with open(argv[1]) as f:
+        conc = json.load(f)
+    rows = lambda rep: {q["query"]: q["rows"] for q in rep["queries"] if "rows" in q}
+    serial_rows, conc_rows = rows(serial), rows(conc)
+    missing = sorted(set(serial_rows) - set(conc_rows))
+    if missing:
+        raise SystemExit(f"concurrent run did not cover: {missing}")
+    if conc.get("failures", 1) != 0:
+        raise SystemExit(f"concurrent run reported {conc['failures']} failures")
+    mismatches = [
+        (q, serial_rows[q], r)
+        for q, r in sorted(conc_rows.items())
+        if serial_rows.get(q) != r
+    ]
+    if mismatches:
+        raise SystemExit(
+            f"row-count diffs vs serial (query, serial, concurrent): {mismatches}"
+        )
+    tp = conc["throughput"]
+    print(
+        f"throughput: {tp['queries_per_hour']:.0f} queries/hour "
+        f"over {tp['total_queries']} executions "
+        f"(p50 {tp['latency_ms']['p50']:.1f} ms, p99 {tp['latency_ms']['p99']:.1f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Fail if any of the given files is not well-formed JSON.
+
+Usage: validate_json.py FILE [FILE ...]
+"""
+
+import json
+import sys
+
+
+def main(paths):
+    if not paths:
+        raise SystemExit("usage: validate_json.py FILE [FILE ...]")
+    for path in paths:
+        try:
+            with open(path) as f:
+                json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            raise SystemExit(f"{path}: {e}")
+        print(f"{path}: ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -18,15 +18,18 @@
 //! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --clients 4 --rounds 3
 //! ```
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, Transport};
+use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, ExprEngine, Transport};
 use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
 use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
+use hsqp::engine::vm::compile_stage;
 use hsqp::engine::{chrome_trace, QueryProfile, QueryResult};
-use hsqp::tpch::TpchDb;
+use hsqp::storage::Schema;
+use hsqp::tpch::{schema as tpch_schema, TpchDb, TpchTable};
 
 const USAGE: &str = "\
 hsqp — end-to-end TPC-H driver over the simulated cluster
@@ -45,13 +48,21 @@ OPTIONS:
                            builder and distributed planner
     --explain              Print each stage's lowered physical plan
                            (exchange placement, broadcast vs repartition)
-                           without generating data or executing; builder
-                           mode plans from SF-derived cardinality
+                           and, under the vm expression engine, the
+                           compiled program for every filter / map / agg
+                           input, without generating data or executing;
+                           builder mode plans from SF-derived cardinality
                            estimates, so choices near a threshold can
                            differ from a live run, which plans from
-                           exact row counts
+                           exact row counts. Combined with --analyze,
+                           queries execute and each one's plan + profile
+                           are emitted as a single block on stderr
     --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
     --engine <E>           hybrid | classic (default hybrid)
+    --expr-engine <E>      vm | ast (default vm): run expressions on the
+                           compiled vector VM, or on the tree-walking
+                           AST interpreter retained as the differential
+                           oracle
     --message-kb <N>       Tuple bytes per network message in KiB (default 32)
     --clients <N>          Closed-loop client threads (default 1). With
                            N > 1 (or --rounds > 1) the driver runs a
@@ -103,6 +114,7 @@ struct Args {
     explain: bool,
     transport: String,
     engine: String,
+    expr_engine: ExprEngine,
     message_kb: usize,
     clients: u16,
     rounds: u32,
@@ -124,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         explain: false,
         transport: "rdma".to_string(),
         engine: "hybrid".to_string(),
+        expr_engine: ExprEngine::Compiled,
         message_kb: 32,
         clients: 1,
         rounds: 1,
@@ -213,6 +226,17 @@ fn parse_args() -> Result<Args, String> {
             "--engine" => {
                 args.engine = value.clone();
             }
+            "--expr-engine" => {
+                args.expr_engine = match value.as_str() {
+                    "vm" => ExprEngine::Compiled,
+                    "ast" => ExprEngine::Ast,
+                    other => {
+                        return Err(format!(
+                            "unknown expression engine {other:?} (expected vm | ast)"
+                        ))
+                    }
+                };
+            }
             "--message-kb" => {
                 args.message_kb = value.parse().ok().filter(|&kb| kb >= 1).ok_or_else(|| {
                     format!("--message-kb must be a positive integer (≥ 1 KiB), got {value:?}")
@@ -268,6 +292,7 @@ fn cluster_config(args: &Args) -> Result<ClusterConfig, String> {
         workers_per_node: args.workers,
         transport,
         engine,
+        expr_engine: args.expr_engine,
         numa_cost_ns: 0.0,
         message_capacity: args.message_kb * 1024,
         max_concurrent: args.clients,
@@ -294,9 +319,76 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The base-table schemas the expression compiler resolves scans against —
+/// the same schemas `TpchDb::generate` produces, available without
+/// generating any data.
+fn base_schema(t: TpchTable) -> Option<Schema> {
+    Some(match t {
+        TpchTable::Part => tpch_schema::part(),
+        TpchTable::Supplier => tpch_schema::supplier(),
+        TpchTable::Partsupp => tpch_schema::partsupp(),
+        TpchTable::Customer => tpch_schema::customer(),
+        TpchTable::Orders => tpch_schema::orders(),
+        TpchTable::Lineitem => tpch_schema::lineitem(),
+        TpchTable::Nation => tpch_schema::nation(),
+        TpchTable::Region => tpch_schema::region(),
+    })
+}
+
+/// Render one query's full EXPLAIN block into a string: the banner, each
+/// stage's operator tree, and — under the vm expression engine — the
+/// compiled program disassembly per stage. Built as a single buffer so
+/// callers write it with one syscall-ish print and nothing can interleave
+/// into the middle of a block.
+fn render_query_plan(args: &Args, n: u32, query: &Query) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Q{n} ({} plans, {} nodes, SF {}, {} exprs) ==",
+        args.plan_mode.name(),
+        args.nodes,
+        args.sf,
+        match args.expr_engine {
+            ExprEngine::Compiled => "vm",
+            ExprEngine::Ast => "ast",
+        }
+    );
+    let total = query.stages.len();
+    let mut temps: HashMap<String, Schema> = HashMap::new();
+    for (i, stage) in query.stages.iter().enumerate() {
+        let role = match &stage.role {
+            StageRole::Params => " scalar parameters".to_string(),
+            StageRole::Materialize(name) => format!(" materialize {name:?}"),
+            StageRole::Result => " result".to_string(),
+        };
+        // Builder-mode stages carry the planner's cardinality estimate;
+        // a profiled run (--analyze) prints the actuals next to it.
+        let est = match stage.estimated_rows {
+            Some(e) => format!("  [est ~{e:.0} rows]"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "-- stage {}/{total}:{role}{est}", i + 1);
+        match args.expr_engine {
+            ExprEngine::Compiled => {
+                let (compiled, schema) = compile_stage(&stage.plan, &&base_schema, &temps);
+                out.push_str(&compiled.render(&stage.plan));
+                if let StageRole::Materialize(name) = &stage.role {
+                    if let Some(s) = schema {
+                        temps.insert(name.clone(), s);
+                    }
+                }
+            }
+            ExprEngine::Ast => out.push_str(&stage.plan.explain()),
+        }
+    }
+    out.push('\n');
+    out
+}
+
 /// Print each stage's lowered physical plan without executing anything
-/// (no data generation, no cluster): exchange placement and broadcast vs
-/// repartition choices are visible directly in the operator trees.
+/// (no data generation, no cluster): exchange placement, broadcast vs
+/// repartition choices, and the compiled expression programs are visible
+/// directly in the operator trees.
 ///
 /// In builder mode, plans are lowered from SF-derived cardinality
 /// estimates; a live run plans from the exact loaded row counts
@@ -319,6 +411,7 @@ fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
             }))
         }
     };
+    let mut out = String::new();
     for &n in queries {
         let query: Query = match &planner {
             None => tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
@@ -329,30 +422,11 @@ fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
                     .map_err(|e| format!("query {n}: {e}"))?
             }
         };
-        println!(
-            "== Q{n} ({} plans, {} nodes, SF {}) ==",
-            args.plan_mode.name(),
-            args.nodes,
-            args.sf
-        );
-        let total = query.stages.len();
-        for (i, stage) in query.stages.iter().enumerate() {
-            let role = match &stage.role {
-                StageRole::Params => " scalar parameters".to_string(),
-                StageRole::Materialize(name) => format!(" materialize {name:?}"),
-                StageRole::Result => " result".to_string(),
-            };
-            // Builder-mode stages carry the planner's cardinality estimate;
-            // a profiled run (--analyze) prints the actuals next to it.
-            let est = match stage.estimated_rows {
-                Some(e) => format!("  [est ~{e:.0} rows]"),
-                None => String::new(),
-            };
-            println!("-- stage {}/{total}:{role}{est}", i + 1);
-            print!("{}", stage.plan.explain());
-        }
-        println!();
+        out.push_str(&render_query_plan(args, n, &query));
     }
+    // One writer for the whole report: nothing else prints to stdout in
+    // this mode, and stderr diagnostics cannot split a plan in half.
+    print!("{out}");
     Ok(())
 }
 
@@ -644,7 +718,10 @@ fn run() -> Result<(), String> {
         None => ALL_QUERIES.to_vec(),
     };
 
-    if args.explain {
+    // --explain alone inspects plans without executing; together with
+    // --analyze the queries run and each plan + profile is emitted as one
+    // buffered block (serial mode enforces the latter below).
+    if args.explain && !args.analyze {
         return explain(&args, &queries);
     }
 
@@ -702,7 +779,16 @@ fn run() -> Result<(), String> {
                 ));
                 if let Some(profile) = result.profile {
                     if args.analyze {
-                        eprint!("{}", profile.render());
+                        // One buffered write per query: with --explain the
+                        // plan (and compiled programs) lead the profile in
+                        // the same block, so concurrent stderr lines can
+                        // never interleave into the middle of either.
+                        let mut block = String::new();
+                        if args.explain {
+                            block.push_str(&render_query_plan(&args, n, query));
+                        }
+                        block.push_str(&profile.render());
+                        eprint!("{block}");
                     }
                     if args.trace_out.is_some() {
                         profiles.push(profile);
