@@ -26,7 +26,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use hsqp_net::{
     CompletionMode, Fabric, FabricConfig, LinkSpec, NetScheduler, NodeId, QueryId, QueryNetStats,
-    QueryStatsRegistry, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork,
+    QueryStatsRegistry, RdmaConfig, RdmaNetwork, TcpConfig, TcpNetwork, Transport as NetTransport,
 };
 use hsqp_numa::{AllocPolicy, CostModel, Topology};
 use hsqp_storage::placement::{chunk_split, hash_partition, Placement};
@@ -34,7 +34,7 @@ use hsqp_storage::{decimal_to_f64, DataType, Schema, Table, Value};
 use hsqp_tpch::{TpchDb, TpchTable};
 
 use crate::error::EngineError;
-use crate::exchange::{spawn_multiplexer, Endpoint, MessagePool, MuxCmd, MuxConfig, RecvHub};
+use crate::exchange::{spawn_multiplexer, MessagePool, MuxCmd, MuxConfig, RecvHub};
 use crate::exec::{Batch, NodeCtx, NodeExec};
 use crate::expr::Expr;
 use crate::local::MorselDriver;
@@ -482,15 +482,15 @@ impl Cluster {
                 cfg.sockets,
                 cfg.message_capacity,
             ));
-            let endpoint = match (&rdma_net, &tcp_net) {
+            let endpoint: Box<dyn NetTransport> = match (&rdma_net, &tcp_net) {
                 (Some(net), _) => {
                     let ep = net.endpoint(node);
                     // The paper posts the hardware maximum of 16 k work
                     // requests; we provision generously.
                     ep.post_recvs(1 << 30);
-                    Endpoint::Rdma(ep)
+                    Box::new(ep)
                 }
-                (_, Some(net)) => Endpoint::Tcp(net.endpoint(node)),
+                (_, Some(net)) => Box::new(net.endpoint(node)),
                 _ => unreachable!("one transport is always built"),
             };
             let mux_cfg = MuxConfig {
@@ -832,25 +832,18 @@ impl ClusterInner {
         let result = if self.down.load(Ordering::SeqCst) {
             Err(EngineError::ClusterDown)
         } else {
-            // A panic in a node thread (e.g. a hand-written plan naming a
-            // nonexistent column) unwinds through the SPMD scope into this
-            // dispatcher thread. Contain it so the submitter gets an error
-            // (not a forever-blocked `wait()`) and the dispatcher slot
-            // survives for later queries. Caveat: this covers SPMD-symmetric
-            // panics (every node fails the same way — the usual case, since
-            // all nodes run the same plan over same-schema parts). A panic
-            // on only *some* nodes mid-exchange can still leave peers
-            // blocked waiting for last-markers that never come, which only
-            // a cross-node abort protocol would fix (see ROADMAP).
+            // Node-thread panics are contained *inside* `execute_spmd`:
+            // a failing node marks the query aborted on every hub first,
+            // so asymmetric mid-exchange failures unblock their peers (the
+            // cross-node abort protocol). This outer net only remains for
+            // panics outside the SPMD scope (stage bookkeeping itself), so
+            // the submitter always gets an error rather than a
+            // forever-blocked `wait()` and the dispatcher slot survives.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_stages(&sub)))
                 .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
                     Err(EngineError::Execution(format!(
-                        "query execution panicked: {msg}"
+                        "query execution panicked: {}",
+                        panic_message(payload.as_ref())
                     )))
                 })
         };
@@ -925,7 +918,7 @@ impl ClusterInner {
                 base,
                 recorder.as_ref(),
                 programs,
-            );
+            )?;
             self.dm.stage_rounds.inc();
             if let Some(rec) = &recorder {
                 let profile = rec.finish(
@@ -1000,6 +993,14 @@ impl ClusterInner {
         })
     }
 
+    /// Run one stage SPMD across all node threads.
+    ///
+    /// Each node thread contains its own panics: a failing node marks the
+    /// query aborted on *every* node's receive hub before it dies, so
+    /// peers blocked mid-exchange on last-markers that will never arrive
+    /// panic out of `RecvHub::pop` instead of wedging this dispatcher
+    /// slot — the cross-node abort protocol, applied in-process. The
+    /// first failure is reported as [`EngineError::Execution`].
     fn execute_spmd(
         &self,
         query: QueryId,
@@ -1008,19 +1009,31 @@ impl ClusterInner {
         base: u32,
         recorder: Option<&StageRecorder>,
         programs: Option<&CompiledStage>,
-    ) -> Vec<Batch> {
-        std::thread::scope(|scope| {
+    ) -> Result<Vec<Batch>, EngineError> {
+        let outcomes: Vec<Result<Batch, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .nodes
                 .iter()
                 .enumerate()
                 .map(|(i, ctx)| {
                     let node_rec = recorder.map(|r| r.node(i));
+                    let nodes = &self.nodes;
                     scope.spawn(move || {
-                        NodeExec::new(ctx, query, params, base)
-                            .with_recorder(node_rec)
-                            .with_programs(programs)
-                            .execute(plan)
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            NodeExec::new(ctx, query, params, base)
+                                .with_recorder(node_rec)
+                                .with_programs(programs)
+                                .execute(plan)
+                        }));
+                        r.map_err(|payload| {
+                            let msg = panic_message(payload.as_ref());
+                            // Unblock peers *before* this thread exits:
+                            // they may be waiting on our last-markers.
+                            for peer in nodes.iter() {
+                                peer.hub.abort(query, &format!("node {i} panicked: {msg}"));
+                            }
+                            format!("node {i} panicked: {msg}")
+                        })
                     })
                 })
                 .collect();
@@ -1028,8 +1041,29 @@ impl ClusterInner {
                 .into_iter()
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect()
-        })
+        });
+        let mut batches = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                Ok(b) => batches.push(b),
+                Err(msg) => {
+                    return Err(EngineError::Execution(format!(
+                        "query execution panicked: {msg}"
+                    )))
+                }
+            }
+        }
+        Ok(batches)
     }
+}
+
+/// Render a caught panic payload as a message string.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 /// Collect every temp-relation name a plan reads through `Plan::TempScan`.
@@ -1253,6 +1287,53 @@ mod tests {
             Plan::scan_cols(TpchTable::Nation, &["n_nationkey"]).gather(),
         );
         assert_eq!(c.run(&ok).unwrap().row_count(), 25);
+        c.shutdown();
+    }
+
+    #[test]
+    fn asymmetric_node_failure_aborts_peers_instead_of_wedging() {
+        use hsqp_storage::{Field, Schema};
+        let c = Cluster::start(ClusterConfig {
+            max_concurrent: 1,
+            ..ClusterConfig::quick(2)
+        })
+        .unwrap();
+        c.load_tpch(0.001).unwrap();
+        // Node 1's NATION part lacks the scanned column, so only node 1
+        // panics; node 0 partitions its rows and blocks waiting for
+        // node 1's last-markers. The cross-node abort must unblock it.
+        let good = c.inner.nodes[0]
+            .tables
+            .read()
+            .get(&TpchTable::Nation)
+            .map(|t| Table::clone(t))
+            .unwrap();
+        let bad = Table::empty(Schema::new(vec![Field::new("wrong", DataType::Int64)]));
+        c.load_table(TpchTable::Nation, vec![good, bad]).unwrap();
+        let q = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Nation, &["n_nationkey"])
+                .repartition(&["n_nationkey"])
+                .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")])
+                .gather(),
+        );
+        match c.run(&q) {
+            Err(EngineError::Execution(msg)) => {
+                assert!(msg.contains("panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected contained failure, got {other:?}"),
+        }
+        assert_eq!(c.active_temp_namespaces(), 0);
+        // The dispatcher slot and the hubs survived for later queries.
+        let ok = Query::single(
+            0,
+            Plan::scan_cols(TpchTable::Orders, &["o_orderkey"])
+                .repartition(&["o_orderkey"])
+                .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")])
+                .gather()
+                .aggregate(&[], vec![AggSpec::new(AggFunc::Sum, col("cnt"), "total")]),
+        );
+        assert_eq!(c.run(&ok).unwrap().row_count(), 1);
         c.shutdown();
     }
 

@@ -30,7 +30,10 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex};
 
-use hsqp_net::{Fabric, NodeId, QueryId, QueryStatsRegistry, RdmaEndpoint, Schedule, TcpEndpoint};
+use hsqp_net::{
+    Fabric, NodeId, QueryId, QueryStatsRegistry, Schedule, Transport as NetTransport,
+    TransportEvent,
+};
 use hsqp_numa::{AllocPolicy, SocketId, Topology};
 
 /// Size of the wire header preceding serialized tuples.
@@ -41,6 +44,10 @@ pub const FLAG_LAST: u8 = 1;
 /// Header flag: a classic-mode broadcast duplicate — it pays wire and
 /// receive cost but its tuple data must not be consumed again.
 pub const FLAG_DUP: u8 = 2;
+/// Header flag: the sending node failed this query mid-exchange; receivers
+/// abort the query's receive-hub state so blocked consumers unblock
+/// instead of waiting for last-markers that will never come.
+pub const FLAG_ABORT: u8 = 4;
 
 /// Encode the transmitted message header.
 pub fn encode_header(
@@ -80,6 +87,8 @@ pub struct Header {
     pub last: bool,
     /// Whether this is a classic-mode broadcast duplicate.
     pub dup: bool,
+    /// Whether the sender aborted this query mid-exchange.
+    pub abort: bool,
     /// Partition bucket (classic mode routes on it; 0 in hybrid mode).
     pub bucket: u16,
     /// Bytes of tuple data following the header.
@@ -97,6 +106,7 @@ pub fn decode_header(buf: &[u8]) -> Header {
         exchange: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
         last: buf[8] & FLAG_LAST != 0,
         dup: buf[8] & FLAG_DUP != 0,
+        abort: buf[8] & FLAG_ABORT != 0,
         bucket: u16::from_le_bytes(buf[9..11].try_into().expect("2 bytes")),
         used: u32::from_le_bytes(buf[11..15].try_into().expect("4 bytes")),
     }
@@ -227,11 +237,24 @@ fn hub_key(query: QueryId, exchange: u32) -> u64 {
     (u64::from(query.0) << 32) | u64::from(exchange)
 }
 
+/// Mutable hub state under one lock: the per-exchange queues plus the
+/// abort markers that unblock consumers when a query or the whole fabric
+/// fails mid-exchange.
+struct HubState {
+    exchanges: HashMap<u64, ExchangeState>,
+    /// Queries aborted mid-flight (cross-node abort frame, peer panic, or
+    /// coordinator abort), with the first recorded reason.
+    aborted: HashMap<u32, String>,
+    /// Set when the node's connectivity is irrecoverably gone (a peer
+    /// process died): every current and future consumer unblocks.
+    dead: Option<String>,
+}
+
 /// Per-node routing point between the multiplexer and the exchange
 /// operators: per-socket receive queues with cross-socket work stealing,
 /// keyed by (query, exchange) so concurrent queries stay isolated.
 pub struct RecvHub {
-    exchanges: Mutex<HashMap<u64, ExchangeState>>,
+    state: Mutex<HubState>,
     wakeup: Condvar,
     queues: usize,
 }
@@ -242,7 +265,11 @@ impl RecvHub {
     pub fn new(queues: usize) -> Arc<Self> {
         assert!(queues > 0, "need at least one receive queue");
         Arc::new(Self {
-            exchanges: Mutex::new(HashMap::new()),
+            state: Mutex::new(HubState {
+                exchanges: HashMap::new(),
+                aborted: HashMap::new(),
+                dead: None,
+            }),
             wakeup: Condvar::new(),
             queues,
         })
@@ -257,37 +284,41 @@ impl RecvHub {
     /// receive; consumers block until that many have arrived and all data
     /// is drained.
     pub fn expect_lasts(&self, query: QueryId, id: u32, expected: u32) {
-        let mut map = self.exchanges.lock();
-        let st = map
+        let mut st = self.state.lock();
+        let queues = self.queues;
+        let ex = st
+            .exchanges
             .entry(hub_key(query, id))
             .or_insert_with(|| ExchangeState {
-                queues: (0..self.queues).map(|_| Default::default()).collect(),
+                queues: (0..queues).map(|_| Default::default()).collect(),
                 lasts_received: 0,
                 expected_lasts: None,
             });
-        st.expected_lasts = Some(expected);
-        drop(map);
+        ex.expected_lasts = Some(expected);
+        drop(st);
         self.wakeup.notify_all();
     }
 
     /// Deliver a message (the multiplexer calls this; also used for
     /// node-local partitions that never touch the network).
     pub fn deliver(&self, query: QueryId, id: u32, queue: usize, msg: Option<RecvMsg>, last: bool) {
-        let mut map = self.exchanges.lock();
-        let st = map
+        let mut st = self.state.lock();
+        let queues = self.queues;
+        let ex = st
+            .exchanges
             .entry(hub_key(query, id))
             .or_insert_with(|| ExchangeState {
-                queues: (0..self.queues).map(|_| Default::default()).collect(),
+                queues: (0..queues).map(|_| Default::default()).collect(),
                 lasts_received: 0,
                 expected_lasts: None,
             });
         if let Some(m) = msg {
-            st.queues[queue % self.queues].push_back(m);
+            ex.queues[queue % self.queues].push_back(m);
         }
         if last {
-            st.lasts_received += 1;
+            ex.lasts_received += 1;
         }
-        drop(map);
+        drop(st);
         self.wakeup.notify_all();
     }
 
@@ -295,87 +326,104 @@ impl RecvHub {
     /// queue and stealing from others when `steal` is set. Returns `None`
     /// once the exchange is fully drained (all lasts received, queues
     /// empty).
+    ///
+    /// # Panics
+    /// Panics when the query (or the whole hub) was aborted while the
+    /// consumer was blocked — the panic unwinds the consumer out of the
+    /// exchange and is contained at the SPMD scope, surfacing as
+    /// [`EngineError::Execution`](crate::error::EngineError::Execution).
     pub fn pop(&self, query: QueryId, id: u32, own: usize, steal: bool) -> Option<RecvMsg> {
-        let mut map = self.exchanges.lock();
+        let mut st = self.state.lock();
         loop {
-            let st = map
+            if let Some(reason) = &st.dead {
+                panic!("query {query} aborted: {reason}");
+            }
+            if let Some(reason) = st.aborted.get(&query.0) {
+                panic!("query {query} aborted: {reason}");
+            }
+            let ex = st
+                .exchanges
                 .get_mut(&hub_key(query, id))
                 .expect("exchange must be registered before popping");
             // 5a: NUMA-local receive queue first.
-            if let Some(m) = st.queues[own % self.queues].pop_front() {
+            if let Some(m) = ex.queues[own % self.queues].pop_front() {
                 return Some(m);
             }
             // 5b: steal work from other queues.
             if steal {
                 for q in 0..self.queues {
                     if q != own % self.queues {
-                        if let Some(m) = st.queues[q].pop_front() {
+                        if let Some(m) = ex.queues[q].pop_front() {
                             return Some(m);
                         }
                     }
                 }
             }
             let drained = if steal {
-                st.queues.iter().all(|q| q.is_empty())
+                ex.queues.iter().all(|q| q.is_empty())
             } else {
-                st.queues[own % self.queues].is_empty()
+                ex.queues[own % self.queues].is_empty()
             };
-            if st.done_receiving() && drained {
+            if ex.done_receiving() && drained {
                 return None;
             }
-            self.wakeup.wait(&mut map);
+            self.wakeup.wait(&mut st);
         }
+    }
+
+    /// Mark `query` aborted (first reason wins) and wake every blocked
+    /// consumer; their `pop`s panic out of the exchange. Cleared by
+    /// [`finish_query`](Self::finish_query).
+    pub fn abort(&self, query: QueryId, reason: &str) {
+        self.state
+            .lock()
+            .aborted
+            .entry(query.0)
+            .or_insert_with(|| reason.to_string());
+        self.wakeup.notify_all();
+    }
+
+    /// Mark the whole hub dead — a peer process disconnected, so *no*
+    /// in-flight or future exchange on this node can complete. Every
+    /// blocked and future `pop` panics with `reason`.
+    pub fn abort_all(&self, reason: &str) {
+        let mut st = self.state.lock();
+        if st.dead.is_none() {
+            st.dead = Some(reason.to_string());
+        }
+        drop(st);
+        self.wakeup.notify_all();
+    }
+
+    /// Whether `query` is marked aborted (or the hub is dead).
+    pub fn is_aborted(&self, query: QueryId) -> bool {
+        let st = self.state.lock();
+        st.dead.is_some() || st.aborted.contains_key(&query.0)
     }
 
     /// Remove a completed exchange's state.
     pub fn finish(&self, query: QueryId, id: u32) {
-        self.exchanges.lock().remove(&hub_key(query, id));
+        self.state.lock().exchanges.remove(&hub_key(query, id));
     }
 
-    /// Remove every residual exchange state of `query` (completion and
-    /// cancellation cleanup: nothing of a finished query may linger in the
-    /// hub, however its stages ended).
+    /// Remove every residual exchange state and the abort marker of
+    /// `query` (completion and cancellation cleanup: nothing of a finished
+    /// query may linger in the hub, however its stages ended).
     pub fn finish_query(&self, query: QueryId) {
-        self.exchanges
-            .lock()
-            .retain(|&k, _| (k >> 32) as u32 != query.0);
+        let mut st = self.state.lock();
+        st.exchanges.retain(|&k, _| (k >> 32) as u32 != query.0);
+        st.aborted.remove(&query.0);
     }
 
     /// Number of exchange states currently held (tests and leak checks).
     pub fn active_exchanges(&self) -> usize {
-        self.exchanges.lock().len()
+        self.state.lock().exchanges.len()
     }
 }
 
 // ---------------------------------------------------------------------------
 // Multiplexer
 // ---------------------------------------------------------------------------
-
-/// Transport used by a node's multiplexer.
-pub enum Endpoint {
-    /// RDMA verbs endpoint (zero copy, pooled registrations).
-    Rdma(RdmaEndpoint),
-    /// TCP socket endpoint (copies + checksums + interrupts).
-    Tcp(TcpEndpoint),
-}
-
-impl Endpoint {
-    fn send(&self, dst: NodeId, payload: &Bytes) {
-        match self {
-            Endpoint::Rdma(ep) => ep.post_send_bytes(dst, payload.clone()),
-            Endpoint::Tcp(ep) => ep.send(dst, payload),
-        }
-    }
-
-    fn try_recv(&self) -> Option<(NodeId, Bytes)> {
-        match self {
-            Endpoint::Rdma(ep) => ep.poll_completion().map(|c| (c.src, c.payload)),
-            Endpoint::Tcp(ep) => ep
-                .recv_timeout(Duration::ZERO)
-                .map(|(src, data)| (src, Bytes::from(data))),
-        }
-    }
-}
 
 /// Commands from exchange operators to their multiplexer.
 pub enum MuxCmd {
@@ -425,14 +473,17 @@ pub struct MuxConfig {
 
 /// Spawn the multiplexer thread for one node.
 ///
-/// Every message the multiplexer puts on the wire is attributed to the
-/// query id in its header via `query_stats`, giving per-query fabric
+/// The multiplexer is transport-agnostic: `transport` may be a simulated
+/// endpoint (RDMA or TCP cost model, in-process) or a
+/// [`SocketTransport`](hsqp_net::SocketTransport) over genuine OS sockets
+/// between processes. Every message it puts on the wire is attributed to
+/// the query id in its header via `query_stats`, giving per-query fabric
 /// accounting even when several queries share the multiplexer.
 ///
 /// Returns the command sender; the thread exits on [`MuxCmd::Shutdown`].
 pub fn spawn_multiplexer(
     cfg: MuxConfig,
-    endpoint: Endpoint,
+    transport: Box<dyn NetTransport>,
     hub: Arc<RecvHub>,
     pool: Arc<MessagePool>,
     scheduler: Option<Arc<hsqp_net::NetScheduler>>,
@@ -444,7 +495,7 @@ pub fn spawn_multiplexer(
         .spawn(move || {
             mux_loop(
                 &cfg,
-                &endpoint,
+                transport.as_ref(),
                 &hub,
                 &pool,
                 scheduler.as_deref(),
@@ -458,7 +509,7 @@ pub fn spawn_multiplexer(
 
 fn mux_loop(
     cfg: &MuxConfig,
-    endpoint: &Endpoint,
+    endpoint: &dyn NetTransport,
     hub: &RecvHub,
     pool: &MessagePool,
     scheduler: Option<&hsqp_net::NetScheduler>,
@@ -476,8 +527,8 @@ fn mux_loop(
     loop {
         // Route incoming completions to the receive queues, alternating
         // NUMA sockets ("receives messages for every NUMA region in turn").
-        while let Some((_src, payload)) = endpoint.try_recv() {
-            route_incoming(cfg, hub, payload, &mut recv_rr);
+        while let Some(ev) = endpoint.try_recv() {
+            handle_event(cfg, hub, ev, &mut recv_rr);
         }
 
         // Accept new work from the exchange operators.
@@ -513,8 +564,8 @@ fn mux_loop(
                 s.leave();
             }
             // Drain any final in-flight messages for receivers still alive.
-            while let Some((_src, payload)) = endpoint.try_recv() {
-                route_incoming(cfg, hub, payload, &mut recv_rr);
+            while let Some(ev) = endpoint.try_recv() {
+                handle_event(cfg, hub, ev, &mut recv_rr);
             }
             return;
         }
@@ -561,14 +612,35 @@ fn mux_loop(
 }
 
 /// Put one message on the wire and attribute it to its query.
-fn ship(endpoint: &Endpoint, query_stats: &QueryStatsRegistry, target: NodeId, payload: &Bytes) {
+fn ship(
+    endpoint: &dyn NetTransport,
+    query_stats: &QueryStatsRegistry,
+    target: NodeId,
+    payload: &Bytes,
+) {
     let h = decode_header(payload);
     query_stats.record_send(h.query, payload.len() as u64);
-    endpoint.send(target, payload);
+    endpoint.send(target, payload.clone());
+}
+
+/// React to one transport event: route a message into the receive queues,
+/// or — on a real transport reporting a dead peer — abort everything in
+/// flight on this node (no exchange can complete without the peer).
+fn handle_event(cfg: &MuxConfig, hub: &RecvHub, ev: TransportEvent, recv_rr: &mut u64) {
+    match ev {
+        TransportEvent::Message { payload, .. } => route_incoming(cfg, hub, payload, recv_rr),
+        TransportEvent::PeerGone { reason, .. } => hub.abort_all(&reason),
+    }
 }
 
 fn route_incoming(cfg: &MuxConfig, hub: &RecvHub, payload: Bytes, recv_rr: &mut u64) {
     let h = decode_header(&payload);
+    if h.abort {
+        // Cross-node abort frame: the sender failed this query; unblock
+        // our consumers waiting on it.
+        hub.abort(h.query, "aborted by a peer node");
+        return;
+    }
     let data = payload.slice(HEADER_LEN..HEADER_LEN + h.used as usize);
     let queue = match cfg.classic_units {
         // Classic: static unit binding — the bucket picks the queue.
@@ -618,6 +690,7 @@ mod tests {
                 exchange: 77,
                 last: true,
                 dup: false,
+                abort: false,
                 bucket: 5,
                 used: 1234
             }
@@ -746,6 +819,61 @@ mod tests {
     }
 
     #[test]
+    fn abort_unblocks_blocked_pop() {
+        let hub = RecvHub::new(1);
+        hub.expect_lasts(Q, 5, 1);
+        let h2 = Arc::clone(&hub);
+        let h = std::thread::spawn(move || {
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h2.pop(Q, 5, 0, true)));
+            r.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        hub.abort(Q, "peer node failed");
+        assert!(h.join().unwrap(), "pop must panic out on abort");
+        assert!(hub.is_aborted(Q));
+        // finish_query clears the abort marker for id reuse.
+        hub.finish_query(Q);
+        assert!(!hub.is_aborted(Q));
+    }
+
+    #[test]
+    fn abort_all_kills_every_query() {
+        let hub = RecvHub::new(1);
+        let (qa, qb) = (QueryId(3), QueryId(4));
+        hub.expect_lasts(qa, 1, 1);
+        hub.expect_lasts(qb, 1, 1);
+        hub.abort_all("node 1 connection lost");
+        for q in [qa, qb] {
+            let h2 = Arc::clone(&hub);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                h2.pop(q, 1, 0, true)
+            }));
+            assert!(r.is_err(), "pop must panic on a dead hub");
+        }
+    }
+
+    #[test]
+    fn abort_frame_routes_to_hub_abort() {
+        let hub = RecvHub::new(1);
+        hub.expect_lasts(Q, 2, 1);
+        let cfg = MuxConfig {
+            node: NodeId(0),
+            nodes: 2,
+            scheduling: false,
+            batch_per_phase: 8,
+            classic_units: None,
+            sockets: 1,
+            alloc_policy: AllocPolicy::NumaAware,
+        };
+        let mut frame = Vec::new();
+        encode_header(Q, 2, FLAG_ABORT, 0, 0, &mut frame);
+        let mut rr = 0;
+        route_incoming(&cfg, &hub, Bytes::from(frame), &mut rr);
+        assert!(hub.is_aborted(Q));
+    }
+
+    #[test]
     fn multiplexer_ships_messages_end_to_end() {
         let fabric = Arc::new(Fabric::new(2, FabricConfig::qdr()));
         let net = RdmaNetwork::new(Arc::clone(&fabric), RdmaConfig::default());
@@ -770,7 +898,7 @@ mod tests {
             };
             let (tx, h) = spawn_multiplexer(
                 cfg,
-                Endpoint::Rdma(ep),
+                Box::new(ep),
                 Arc::clone(&hubs[node as usize]),
                 pool,
                 Some(Arc::clone(&sched)),

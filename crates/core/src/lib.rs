@@ -57,6 +57,8 @@ pub mod plan;
 pub mod planner;
 pub mod profile;
 pub mod queries;
+pub mod remote;
+pub mod serial;
 pub mod session;
 pub mod vm;
 pub mod wire;
@@ -72,5 +74,6 @@ pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
 pub use planner::{Planner, PlannerConfig, TableStats};
 pub use profile::{chrome_trace, QueryProfile};
+pub use remote::{NodeServer, ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
 pub use session::{Session, SessionBuilder};
 pub use vm::{CompiledStage, ExprProgram};

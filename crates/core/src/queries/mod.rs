@@ -53,7 +53,7 @@ impl StageRole {
 }
 
 /// One stage of a physical [`Query`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryStage {
     /// The distributed plan to execute SPMD.
     pub plan: Plan,
@@ -67,7 +67,7 @@ pub struct QueryStage {
 
 /// A multi-stage physical query: parameter and materialization stages run
 /// first, the final stage produces the result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Stages in execution order; the last produces the result.
     pub stages: Vec<QueryStage>,

@@ -32,12 +32,16 @@ pub mod fabric;
 pub mod link;
 pub mod rdma;
 pub mod sched;
+pub mod socket;
 pub mod stats;
 pub mod tcp;
+pub mod transport;
 
 pub use fabric::{Fabric, FabricConfig, NodeId};
 pub use link::LinkSpec;
 pub use rdma::{CompletionMode, RdmaConfig, RdmaEndpoint, RdmaNetwork};
 pub use sched::{NetScheduler, Schedule};
+pub use socket::{SocketConfig, SocketTransport};
 pub use stats::{NetStats, QueryId, QueryNetStats, QueryStatsRegistry};
 pub use tcp::{IpoibMode, TcpConfig, TcpEndpoint, TcpNetwork};
+pub use transport::{Transport, TransportEvent};

@@ -1,0 +1,535 @@
+//! Real-socket transport: genuine OS TCP connections between processes.
+//!
+//! Everything else in this crate *models* a network; this module talks to
+//! one. A [`SocketTransport`] is a full mesh of `std::net::TcpStream`
+//! connections between the node processes of an out-of-process cluster,
+//! carrying the same wire messages (header + serialized tuples) that the
+//! simulated endpoints carry in-process.
+//!
+//! Design:
+//!
+//! * **Length-prefixed framing** — every message is `u32` little-endian
+//!   length followed by the payload ([`write_frame`]/[`read_frame`]). The
+//!   same framing carries the coordinator's control protocol.
+//! * **Handshake preamble** — each connection opens with magic, protocol
+//!   version, the dialer's role (data peer vs coordinator control), its
+//!   node id, and the cluster size ([`Preamble`]), so a node can reject
+//!   version skew and misdirected connections before any query traffic.
+//! * **Per-peer send/receive threads** — one writer thread per peer drains
+//!   a queue into a `BufWriter` (batching small frames, flushing when the
+//!   queue runs dry), one reader thread per peer turns frames into
+//!   [`TransportEvent::Message`]s. `TCP_NODELAY` and the writer buffer
+//!   size are the [`SocketConfig`] knobs, mirroring the simulated
+//!   [`TcpConfig`](crate::tcp::TcpConfig) tuning ladder.
+//! * **Failure detection** — a reader hitting EOF or a socket error emits
+//!   [`TransportEvent::PeerGone`], which the exchange layer translates
+//!   into query aborts instead of wedged receive hubs.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::fabric::NodeId;
+use crate::stats::NetStats;
+use crate::transport::{Transport, TransportEvent};
+
+/// Magic number opening every connection ("HSQP").
+pub const WIRE_MAGIC: u32 = 0x4853_5150;
+/// Protocol version of the handshake, framing, and control opcodes.
+/// Bumped on any incompatible change; mismatches are rejected loudly.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on a single frame (sanity check against corrupt lengths).
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// What the dialing end of a fresh connection is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeRole {
+    /// Another node of the cluster: the connection carries exchange data.
+    Data,
+    /// The coordinator: the connection carries the control protocol.
+    Control,
+}
+
+/// The fixed-size handshake sent by whoever opens a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preamble {
+    /// Dialer's protocol version ([`WIRE_VERSION`]).
+    pub version: u16,
+    /// What the dialer is.
+    pub role: HandshakeRole,
+    /// Dialer's node id (0 for the coordinator).
+    pub node: u16,
+    /// Cluster size the dialer believes in.
+    pub nodes: u16,
+}
+
+impl Preamble {
+    /// Serialize to the 11-byte wire form.
+    pub fn encode(&self) -> [u8; 11] {
+        let mut b = [0u8; 11];
+        b[0..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+        b[4..6].copy_from_slice(&self.version.to_le_bytes());
+        b[6] = match self.role {
+            HandshakeRole::Data => 0,
+            HandshakeRole::Control => 1,
+        };
+        b[7..9].copy_from_slice(&self.node.to_le_bytes());
+        b[9..11].copy_from_slice(&self.nodes.to_le_bytes());
+        b
+    }
+}
+
+/// Write the handshake preamble to a fresh connection.
+pub fn send_preamble(w: &mut impl Write, p: &Preamble) -> io::Result<()> {
+    w.write_all(&p.encode())?;
+    w.flush()
+}
+
+/// Read and validate a handshake preamble; rejects bad magic and version
+/// skew with `InvalidData` so incompatible builds fail at connect time.
+pub fn read_preamble(r: &mut impl Read) -> io::Result<Preamble> {
+    let mut b = [0u8; 11];
+    r.read_exact(&mut b)?;
+    let magic = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+    if magic != WIRE_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad handshake magic {magic:#x}"),
+        ));
+    }
+    let version = u16::from_le_bytes(b[4..6].try_into().expect("2 bytes"));
+    if version != WIRE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("protocol version mismatch: peer {version}, ours {WIRE_VERSION}"),
+        ));
+    }
+    let role = match b[6] {
+        0 => HandshakeRole::Data,
+        1 => HandshakeRole::Control,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown handshake role {other}"),
+            ))
+        }
+    };
+    Ok(Preamble {
+        version,
+        role,
+        node: u16::from_le_bytes(b[7..9].try_into().expect("2 bytes")),
+        nodes: u16::from_le_bytes(b[9..11].try_into().expect("2 bytes")),
+    })
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Socket tuning knobs, the real-transport mirror of the simulated
+/// [`TcpConfig`](crate::tcp::TcpConfig) ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// Set `TCP_NODELAY` on every connection (disable Nagle batching —
+    /// exchange messages are already batched into large frames).
+    pub nodelay: bool,
+    /// Userspace write-buffer capacity per peer connection; small frames
+    /// coalesce here before hitting the kernel.
+    pub send_buffer: usize,
+    /// How long mesh establishment keeps retrying dials before giving up
+    /// (peers may not have bound their listeners yet).
+    pub connect_timeout: Duration,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            nodelay: true,
+            send_buffer: 256 * 1024,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct PeerHandle {
+    /// Queue into the peer's writer thread; dropping it stops the thread.
+    tx: Sender<Bytes>,
+    /// Kept to force-close the stream on drop so reader threads unblock.
+    stream: TcpStream,
+}
+
+/// A real-socket mesh connecting this node to every other node process.
+///
+/// Created by [`connect_mesh`](Self::connect_mesh) once the cluster
+/// membership is known; used by the communication multiplexer through the
+/// [`Transport`] trait exactly like the simulated endpoints.
+pub struct SocketTransport {
+    node: NodeId,
+    peers: Vec<Option<PeerHandle>>,
+    events: Receiver<TransportEvent>,
+    /// Held so reader threads can always deliver (even while the mux is
+    /// between polls); cloned senders live in the reader threads.
+    _events_tx: Sender<TransportEvent>,
+    stats: Arc<NetStats>,
+}
+
+impl SocketTransport {
+    /// Establish the full mesh for `node` in a cluster of `addrs.len()`
+    /// nodes (`addrs[i]` is node i's listen address; our own entry is
+    /// ignored). Dials every lower-numbered node (retrying until
+    /// `cfg.connect_timeout`, since peers may still be starting) and
+    /// accepts one data connection from every higher-numbered node on
+    /// `listener`.
+    pub fn connect_mesh(
+        node: NodeId,
+        addrs: &[String],
+        listener: &TcpListener,
+        cfg: &SocketConfig,
+    ) -> io::Result<Self> {
+        Self::connect_mesh_pending(node, addrs, listener, cfg, Vec::new())
+    }
+
+    /// [`connect_mesh`](Self::connect_mesh), with data connections that were
+    /// already accepted (preamble read) before mesh establishment started.
+    /// A node server shares one listener between the coordinator's control
+    /// connection and the mesh, so a fast peer's dial can land before the
+    /// coordinator's — the server stashes it and hands it over here.
+    pub fn connect_mesh_pending(
+        node: NodeId,
+        addrs: &[String],
+        listener: &TcpListener,
+        cfg: &SocketConfig,
+        pending: Vec<(Preamble, TcpStream)>,
+    ) -> io::Result<Self> {
+        let nodes = addrs.len() as u16;
+        let (events_tx, events) = unbounded();
+        let stats = Arc::new(NetStats::new());
+        let mut peers: Vec<Option<PeerHandle>> = (0..nodes).map(|_| None).collect();
+
+        // Dial every lower-numbered peer.
+        for target in 0..node.0 {
+            let stream = dial_with_retry(&addrs[target as usize], cfg.connect_timeout)?;
+            let mut s = stream.try_clone()?;
+            send_preamble(
+                &mut s,
+                &Preamble {
+                    version: WIRE_VERSION,
+                    role: HandshakeRole::Data,
+                    node: node.0,
+                    nodes,
+                },
+            )?;
+            peers[target as usize] = Some(start_peer(
+                NodeId(target),
+                stream,
+                cfg,
+                events_tx.clone(),
+                Arc::clone(&stats),
+            )?);
+        }
+
+        // Accept one data connection from every higher-numbered peer,
+        // consuming pre-accepted connections first.
+        let mut pending = pending;
+        let mut expected = (node.0 + 1..nodes).count();
+        let deadline = Instant::now() + cfg.connect_timeout;
+        while expected > 0 {
+            let (p, stream) = match pending.pop() {
+                Some(entry) => entry,
+                None => {
+                    if Instant::now() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("mesh incomplete: {expected} peer(s) never connected"),
+                        ));
+                    }
+                    let (mut stream, _) = listener.accept()?;
+                    let p = read_preamble(&mut stream)?;
+                    (p, stream)
+                }
+            };
+            if p.role != HandshakeRole::Data {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected control connection during mesh establishment",
+                ));
+            }
+            if p.nodes != nodes || p.node <= node.0 || p.node >= nodes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "peer handshake out of place: node {} of {} (we are {} of {nodes})",
+                        p.node, p.nodes, node.0
+                    ),
+                ));
+            }
+            if peers[p.node as usize].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate mesh connection from node {}", p.node),
+                ));
+            }
+            peers[p.node as usize] = Some(start_peer(
+                NodeId(p.node),
+                stream,
+                cfg,
+                events_tx.clone(),
+                Arc::clone(&stats),
+            )?);
+            expected -= 1;
+        }
+
+        Ok(Self {
+            node,
+            peers,
+            events,
+            _events_tx: events_tx,
+            stats,
+        })
+    }
+
+    /// This node's id in the mesh.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Byte/message counters of everything sent and received over this
+    /// mesh (feeds the same metrics surface as the simulated fabric).
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&self, dst: NodeId, payload: Bytes) {
+        if let Some(Some(peer)) = self.peers.get(dst.idx()) {
+            self.stats.record_send(payload.len() as u64, 1);
+            // A closed queue means the writer thread died with the
+            // connection; the reader thread reports the PeerGone.
+            let _ = peer.tx.send(payload);
+        }
+    }
+
+    fn try_recv(&self) -> Option<TransportEvent> {
+        self.events.try_recv().ok()
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        for peer in self.peers.iter().flatten() {
+            let _ = peer.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Dial `addr`, retrying while the peer's listener may not be up yet.
+fn dial_with_retry(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("dialing {addr} failed after {timeout:?}: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Spawn the writer and reader threads for one established peer stream.
+fn start_peer(
+    peer: NodeId,
+    stream: TcpStream,
+    cfg: &SocketConfig,
+    events: Sender<TransportEvent>,
+    stats: Arc<NetStats>,
+) -> io::Result<PeerHandle> {
+    stream.set_nodelay(cfg.nodelay)?;
+    let (tx, rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
+
+    let writer_stream = stream.try_clone()?;
+    let send_buffer = cfg.send_buffer;
+    std::thread::Builder::new()
+        .name(format!("sock-send-{}", peer.0))
+        .spawn(move || {
+            let mut w = BufWriter::with_capacity(send_buffer, writer_stream);
+            // Block for the first frame, then opportunistically drain the
+            // queue before paying one flush (syscall) for the batch.
+            while let Ok(first) = rx.recv() {
+                if write_frame(&mut w, &first).is_err() {
+                    return;
+                }
+                while let Ok(more) = rx.try_recv() {
+                    if write_frame(&mut w, &more).is_err() {
+                        return;
+                    }
+                }
+                if w.flush().is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn socket writer");
+
+    let reader_stream = stream.try_clone()?;
+    std::thread::Builder::new()
+        .name(format!("sock-recv-{}", peer.0))
+        .spawn(move || {
+            let mut r = BufReader::new(reader_stream);
+            loop {
+                match read_frame(&mut r) {
+                    Ok(frame) => {
+                        stats.record_receive(frame.len() as u64);
+                        if events
+                            .send(TransportEvent::Message {
+                                src: peer,
+                                payload: Bytes::from(frame),
+                            })
+                            .is_err()
+                        {
+                            return; // transport dropped
+                        }
+                    }
+                    Err(e) => {
+                        let _ = events.send(TransportEvent::PeerGone {
+                            peer,
+                            reason: format!("node {} connection lost: {e}", peer.0),
+                        });
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn socket reader");
+
+    Ok(PeerHandle { tx, stream })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh_pair() -> (SocketTransport, SocketTransport) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let cfg = SocketConfig::default();
+        let a1 = addrs.clone();
+        let t = std::thread::spawn(move || {
+            SocketTransport::connect_mesh(NodeId(1), &a1, &l1, &cfg).unwrap()
+        });
+        let t0 = SocketTransport::connect_mesh(NodeId(0), &addrs, &l0, &cfg).unwrap();
+        (t0, t.join().unwrap())
+    }
+
+    fn recv_blocking(t: &SocketTransport) -> TransportEvent {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(ev) = t.try_recv() {
+                return ev;
+            }
+            assert!(Instant::now() < deadline, "no event within 10s");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn mesh_sends_both_ways() {
+        let (t0, t1) = mesh_pair();
+        t0.send(NodeId(1), Bytes::from_static(b"ping"));
+        t1.send(NodeId(0), Bytes::from_static(b"pong"));
+        match recv_blocking(&t1) {
+            TransportEvent::Message { src, payload } => {
+                assert_eq!(src, NodeId(0));
+                assert_eq!(&payload[..], b"ping");
+            }
+            other => panic!("unexpected event: {other:?}"),
+        }
+        match recv_blocking(&t0) {
+            TransportEvent::Message { src, payload } => {
+                assert_eq!(src, NodeId(1));
+                assert_eq!(&payload[..], b"pong");
+            }
+            other => panic!("unexpected event: {other:?}"),
+        }
+        assert_eq!(t0.stats().messages_sent(), 1);
+        assert_eq!(t0.stats().bytes_sent(), 4);
+        assert_eq!(t0.stats().messages_received(), 1);
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_peer_gone() {
+        let (t0, t1) = mesh_pair();
+        drop(t1);
+        match recv_blocking(&t0) {
+            TransportEvent::PeerGone { peer, .. } => assert_eq!(peer, NodeId(1)),
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preamble_roundtrip_and_version_check() {
+        let p = Preamble {
+            version: WIRE_VERSION,
+            role: HandshakeRole::Control,
+            node: 3,
+            nodes: 4,
+        };
+        let mut buf = Vec::new();
+        send_preamble(&mut buf, &p).unwrap();
+        assert_eq!(read_preamble(&mut &buf[..]).unwrap(), p);
+
+        // Version skew is rejected.
+        let mut bad = p.encode();
+        bad[4] = 0xEE;
+        bad[5] = 0xEE;
+        assert!(read_preamble(&mut &bad[..]).is_err());
+        // Bad magic is rejected.
+        let mut bad = p.encode();
+        bad[0] = 0;
+        assert!(read_preamble(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"abc");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err()); // clean EOF
+    }
+}

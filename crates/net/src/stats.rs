@@ -160,6 +160,13 @@ impl QueryNetStats {
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold in counters reported by another party (an out-of-process
+    /// coordinator merging the per-node totals its nodes report back).
+    pub fn add(&self, bytes: u64, messages: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_sent.fetch_add(messages, Ordering::Relaxed);
+    }
+
     /// Bytes this query has shipped over the fabric so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)

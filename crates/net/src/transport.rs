@@ -1,0 +1,80 @@
+//! The transport abstraction the communication multiplexer runs on.
+//!
+//! The engine's exchange layer is transport-agnostic: a multiplexer only
+//! ever `send`s whole wire messages to a peer node and `try_recv`s whatever
+//! arrived, regardless of whether the bytes move through the calibrated
+//! in-process fabric models ([`RdmaEndpoint`], [`TcpEndpoint`]) or through
+//! genuine OS sockets between processes
+//! ([`SocketTransport`](crate::socket::SocketTransport)).
+//!
+//! Real transports can additionally observe *peer death* — a TCP reset or
+//! EOF from a crashed node — which the simulated fabric never produces.
+//! That is surfaced as [`TransportEvent::PeerGone`] so the exchange layer
+//! can abort in-flight queries instead of waiting forever for last-markers
+//! that will never come.
+
+use bytes::Bytes;
+
+use crate::fabric::NodeId;
+use crate::rdma::RdmaEndpoint;
+use crate::tcp::TcpEndpoint;
+
+/// Something a transport produced while polling.
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// A whole wire message arrived from `src`.
+    Message {
+        /// Sending node.
+        src: NodeId,
+        /// Full message bytes (header + tuples).
+        payload: Bytes,
+    },
+    /// The connection to `peer` is gone (process died, socket reset).
+    /// Simulated transports never emit this.
+    PeerGone {
+        /// The node whose connection broke.
+        peer: NodeId,
+        /// Human-readable cause (for logs and error messages).
+        reason: String,
+    },
+}
+
+/// A node's connection to the rest of the cluster, as seen by its
+/// multiplexer: fire-and-forget message sends plus non-blocking receive
+/// polling.
+pub trait Transport: Send {
+    /// Queue `payload` for delivery to `dst`. Must not block on the peer;
+    /// delivery failures surface later as [`TransportEvent::PeerGone`].
+    fn send(&self, dst: NodeId, payload: Bytes);
+
+    /// Poll for the next received message or connectivity event; `None`
+    /// when nothing is pending.
+    fn try_recv(&self) -> Option<TransportEvent>;
+}
+
+impl Transport for RdmaEndpoint {
+    fn send(&self, dst: NodeId, payload: Bytes) {
+        self.post_send_bytes(dst, payload);
+    }
+
+    fn try_recv(&self) -> Option<TransportEvent> {
+        self.poll_completion().map(|c| TransportEvent::Message {
+            src: c.src,
+            payload: c.payload,
+        })
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn send(&self, dst: NodeId, payload: Bytes) {
+        TcpEndpoint::send(self, dst, &payload);
+    }
+
+    fn try_recv(&self) -> Option<TransportEvent> {
+        self.recv_timeout(std::time::Duration::ZERO)
+            .map(|(src, data)| TransportEvent::Message {
+                src,
+                payload: Bytes::from(data),
+            })
+    }
+}

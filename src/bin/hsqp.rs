@@ -26,7 +26,9 @@ use std::time::Instant;
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, ExprEngine, Transport};
 use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
 use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
+use hsqp::engine::remote::{ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
 use hsqp::engine::vm::compile_stage;
+use hsqp::engine::EngineError;
 use hsqp::engine::{chrome_trace, QueryProfile, QueryResult};
 use hsqp::storage::Schema;
 use hsqp::tpch::{schema as tpch_schema, TpchDb, TpchTable};
@@ -57,7 +59,17 @@ OPTIONS:
                            exact row counts. Combined with --analyze,
                            queries execute and each one's plan + profile
                            are emitted as a single block on stderr
-    --transport <T>        rdma | rdma-unscheduled | tcp (default rdma)
+    --cluster <LIST>       Comma-separated hsqp-node addresses, e.g.
+                           127.0.0.1:7401,127.0.0.1:7402. Runs the queries
+                           on those out-of-process servers over real TCP
+                           sockets instead of the in-process simulated
+                           cluster; the node count is the list length
+                           (--nodes is ignored) and node 0 gathers
+                           results. Incompatible with --analyze,
+                           --trace-out, --bench-out, --engine classic,
+                           and --expr-engine ast
+    --transport <T>        rdma | rdma-unscheduled | tcp (default rdma);
+                           simulated-fabric modes, ignored with --cluster
     --engine <E>           hybrid | classic (default hybrid)
     --expr-engine <E>      vm | ast (default vm): run expressions on the
                            compiled vector VM, or on the tree-walking
@@ -109,6 +121,7 @@ struct Args {
     sf: f64,
     nodes: u16,
     workers: u16,
+    cluster: Option<Vec<String>>,
     queries: Option<Vec<u32>>,
     plan_mode: PlanMode,
     explain: bool,
@@ -131,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         sf: 0.01,
         nodes: 4,
         workers: 2,
+        cluster: None,
         queries: None,
         plan_mode: PlanMode::Handwritten,
         explain: false,
@@ -192,6 +206,17 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = value.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
                     format!("--workers must be a positive integer, got {value:?}")
                 })?;
+            }
+            "--cluster" => {
+                let addrs: Vec<String> = value
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--cluster must name at least one node address".into());
+                }
+                args.cluster = Some(addrs);
             }
             "--queries" => {
                 let list: Vec<u32> = value
@@ -455,12 +480,81 @@ struct Observation {
     bytes_shuffled: u64,
 }
 
+/// Where queries execute: the in-process simulated cluster, or a set of
+/// out-of-process `hsqp-node` servers reached over real TCP sockets.
+enum Backend {
+    Local(Cluster),
+    Remote(ProcessCluster),
+}
+
+impl Backend {
+    /// Run one multi-stage query to completion. Both variants are safe to
+    /// call from many client threads at once (the local path is
+    /// submit + wait through the concurrent dispatcher).
+    fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
+        match self {
+            Backend::Local(cluster) => cluster.run(query),
+            Backend::Remote(pc) => pc.run(query),
+        }
+    }
+
+    /// Build the distributed planner from the backend's exact loaded row
+    /// counts (remote nodes report theirs at load time).
+    fn planner(&self, sf: f64) -> Planner {
+        match self {
+            Backend::Local(cluster) => Planner::for_cluster(cluster),
+            Backend::Remote(pc) => {
+                let mut stats = TableStats::for_scale_factor(sf);
+                for t in TpchTable::ALL {
+                    if let Some(rows) = pc.table_rows(t) {
+                        stats.set_rows(t, rows as f64);
+                    }
+                }
+                Planner::new(PlannerConfig {
+                    stats,
+                    ..PlannerConfig::new(pc.nodes())
+                })
+            }
+        }
+    }
+
+    /// Render the backend's post-run metrics for `--metrics`.
+    fn metrics_render(&self) -> String {
+        match self {
+            Backend::Local(cluster) => cluster.metrics().render(),
+            Backend::Remote(pc) => match pc.net_stats() {
+                Ok((bs, br, ms, mr)) => format!(
+                    "process cluster socket mesh: {bs} bytes sent, {br} bytes \
+                     received, {ms} messages sent, {mr} messages received\n"
+                ),
+                Err(e) => format!("process cluster socket mesh: stats unavailable ({e})\n"),
+            },
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Backend::Local(cluster) => cluster.shutdown(),
+            Backend::Remote(pc) => pc.shutdown(),
+        }
+    }
+}
+
 /// A started cluster with TPC-H loaded, plus the setup timings both run
 /// modes report.
 struct Bench {
-    cluster: Cluster,
+    backend: Backend,
     gen_ms: f64,
     load_ms: f64,
+}
+
+/// Start whichever backend the flags select and load TPC-H into it
+/// (shared by the serial and throughput modes).
+fn start_loaded_backend(args: &Args, banner_suffix: &str) -> Result<Bench, String> {
+    match &args.cluster {
+        None => start_loaded_cluster(args, cluster_config(args)?, banner_suffix),
+        Some(addrs) => start_remote_cluster(args, addrs, banner_suffix),
+    }
 }
 
 /// Generate TPC-H at the requested scale factor, start the cluster, and
@@ -490,8 +584,45 @@ fn start_loaded_cluster(
         .map_err(|e| format!("load failed: {e}"))?;
     let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
     Ok(Bench {
-        cluster,
+        backend: Backend::Local(cluster),
         gen_ms,
+        load_ms,
+    })
+}
+
+/// Connect to the out-of-process `hsqp-node` servers and have each
+/// generate its share of TPC-H locally (generation runs on the nodes, so
+/// it is reported inside `load_ms` and `generate_ms` is zero).
+fn start_remote_cluster(
+    args: &Args,
+    addrs: &[String],
+    banner_suffix: &str,
+) -> Result<Bench, String> {
+    eprintln!(
+        "connecting to {}-process cluster [{}] and loading TPC-H SF {} \
+         ({} plans{banner_suffix})",
+        addrs.len(),
+        addrs.join(", "),
+        args.sf,
+        args.plan_mode.name(),
+    );
+    let cfg = ProcessClusterConfig {
+        engine: RemoteEngineConfig {
+            workers_per_node: args.workers,
+            message_capacity: args.message_kb * 1024,
+            ..RemoteEngineConfig::default()
+        },
+        ..ProcessClusterConfig::default()
+    };
+    let pc =
+        ProcessCluster::connect(addrs, cfg).map_err(|e| format!("cluster connect failed: {e}"))?;
+    let load_started = Instant::now();
+    pc.load_tpch(args.sf)
+        .map_err(|e| format!("load failed: {e}"))?;
+    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    Ok(Bench {
+        backend: Backend::Remote(pc),
+        gen_ms: 0.0,
         load_ms,
     })
 }
@@ -553,18 +684,17 @@ fn emit_report(report: &str, output: &Option<String>) -> Result<(), String> {
 /// run `--rounds` passes over the query set through the concurrent
 /// submission API, sharing one cluster whose dispatcher admits up to
 /// `--clients` queries at once.
-fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<(), String> {
-    let bench = start_loaded_cluster(
+fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
+    let bench = start_loaded_backend(
         args,
-        cfg,
         &format!(", {} clients x {} rounds", args.clients, args.rounds),
     )?;
-    let cluster = &bench.cluster;
+    let backend = &bench.backend;
 
     // Plan every query once up front: all clients submit identical
     // physical plans, so row-count differences can only come from the
     // concurrent execution path.
-    let planner = Planner::for_cluster(cluster);
+    let planner = backend.planner(args.sf);
     let plans = plan_queries(args, &planner, queries)?;
 
     let wall_started = Instant::now();
@@ -578,7 +708,7 @@ fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<()
                     for _ in 0..args.rounds {
                         for (n, query) in plans {
                             let started = Instant::now();
-                            match cluster.submit(query).and_then(|h| h.wait()) {
+                            match backend.run(query) {
                                 Ok(result) => obs.push(Observation {
                                     query: *n,
                                     ms: started.elapsed().as_secs_f64() * 1e3,
@@ -600,9 +730,9 @@ fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<()
     });
     let wall_ms = wall_started.elapsed().as_secs_f64() * 1e3;
     if args.metrics {
-        eprint!("{}", cluster.metrics().render());
+        eprint!("{}", backend.metrics_render());
     }
-    bench.cluster.shutdown();
+    bench.backend.shutdown();
 
     let mut failures: Vec<String> = Vec::new();
     let mut all: Vec<Observation> = Vec::new();
@@ -710,8 +840,33 @@ fn run_throughput(args: &Args, cfg: ClusterConfig, queries: &[u32]) -> Result<()
 }
 
 fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let cfg = cluster_config(&args)?;
+    let mut args = parse_args()?;
+
+    if let Some(addrs) = &args.cluster {
+        // Out-of-process mode: the profiler's spans, the trajectory file,
+        // and the alternative engines live on the in-process nodes only.
+        if args.analyze || args.trace_out.is_some() || args.bench_out.is_some() {
+            return Err(
+                "--analyze, --trace-out, and --bench-out need the in-process \
+                 cluster (drop --cluster)"
+                    .into(),
+            );
+        }
+        if args.engine != "hybrid" {
+            return Err("--cluster nodes always run the hybrid engine".into());
+        }
+        if args.expr_engine != ExprEngine::Compiled {
+            return Err("--cluster nodes always run the vm expression engine".into());
+        }
+        // The report reflects reality: real sockets, node count from the
+        // address list.
+        args.nodes = addrs.len() as u16;
+        args.transport = "socket".to_string();
+    } else {
+        // Validate the simulated-fabric flags even in modes that do not
+        // start a cluster, so typos fail fast.
+        cluster_config(&args)?;
+    }
 
     let queries: Vec<u32> = match &args.queries {
         Some(list) => list.clone(),
@@ -733,13 +888,13 @@ fn run() -> Result<(), String> {
                     .into(),
             );
         }
-        return run_throughput(&args, cfg, &queries);
+        return run_throughput(&args, &queries);
     }
 
-    let bench = start_loaded_cluster(&args, cfg, "")?;
-    let cluster = &bench.cluster;
+    let bench = start_loaded_backend(&args, "")?;
+    let backend = &bench.backend;
 
-    let planner = Planner::for_cluster(cluster);
+    let planner = backend.planner(args.sf);
     let plans = plan_queries(&args, &planner, &queries)?;
     let mut lines = Vec::new();
     let mut bench_lines = Vec::new();
@@ -749,7 +904,7 @@ fn run() -> Result<(), String> {
     let mut failures = 0u32;
     for (n, query) in &plans {
         let n = *n;
-        let result: Result<QueryResult, _> = cluster.run(query);
+        let result: Result<QueryResult, _> = backend.run(query);
         match result {
             Ok(result) => {
                 let ms = result.elapsed.as_secs_f64() * 1e3;
@@ -811,9 +966,9 @@ fn run() -> Result<(), String> {
         (log_sum / queries.len() as f64).exp()
     };
     if args.metrics {
-        eprint!("{}", cluster.metrics().render());
+        eprint!("{}", backend.metrics_render());
     }
-    bench.cluster.shutdown();
+    bench.backend.shutdown();
 
     if let Some(path) = &args.trace_out {
         let trace = chrome_trace(&profiles);

@@ -1,0 +1,74 @@
+//! `hsqp-node` — one out-of-process database server.
+//!
+//! Binds a TCP listener, waits for an `hsqp --cluster` coordinator to
+//! connect, joins the node mesh, and executes its SPMD share of every
+//! query stage the coordinator ships. One process per cluster node:
+//!
+//! ```bash
+//! hsqp-node --listen 127.0.0.1:7401 &
+//! hsqp-node --listen 127.0.0.1:7402 &
+//! hsqp --cluster 127.0.0.1:7401,127.0.0.1:7402 --sf 0.01
+//! ```
+//!
+//! With `--listen 127.0.0.1:0` the OS picks a free port; the chosen
+//! address is the single stdout line `hsqp-node listening on ADDR`, which
+//! scripts and the integration tests parse. Diagnostics go to stderr. The
+//! process exits when the coordinator sends a shutdown or disconnects.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use hsqp::engine::remote::NodeServer;
+
+const USAGE: &str = "\
+hsqp-node — out-of-process cluster node for `hsqp --cluster`
+
+USAGE:
+    hsqp-node --listen <HOST:PORT>
+
+OPTIONS:
+    --listen <ADDR>   Address to listen on (port 0 = OS-assigned; the
+                      bound address is printed to stdout)
+    -h, --help        Show this help
+";
+
+fn run() -> Result<(), String> {
+    let mut listen: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--listen" => {
+                listen = Some(argv.get(i + 1).ok_or("--listen requires a value")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    let listen = listen.ok_or("--listen is required (see --help)")?;
+    let server = NodeServer::bind(&listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving listen address: {e}"))?;
+    // The one stdout line; everything else is stderr. Flush explicitly so
+    // a parent process piping stdout sees it before the blocking accept.
+    println!("hsqp-node listening on {addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    server.run().map_err(|e| format!("node failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

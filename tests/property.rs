@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use hsqp::engine::expr::{col, lit, LikeMatcher};
+use hsqp::engine::expr::{col, lit, Expr, LikeMatcher};
 use hsqp::engine::local::MorselDriver;
 use hsqp::engine::ops::{aggregate, sort_table};
 use hsqp::engine::plan::{AggFunc, AggSpec, SortKey};
@@ -219,5 +219,91 @@ proptest! {
         let keys = g.sample_many(count, 5);
         let f = hsqp::tpch::skew::imbalance(&keys, units);
         prop_assert!(f >= 1.0 - 1e-9);
+    }
+}
+
+/// Build a deterministic random expression from a stream of seed words,
+/// bounded in depth so generation always terminates.
+fn build_expr(seed: &mut std::slice::Iter<'_, u64>, depth: u32) -> Expr {
+    use hsqp::engine::expr::{ArithOp, CmpOp};
+    fn next(seed: &mut std::slice::Iter<'_, u64>, m: u64) -> u64 {
+        seed.next().copied().unwrap_or(7) % m
+    }
+    if depth == 0 {
+        return match next(seed, 5) {
+            0 => Expr::Col(format!("c{}", next(seed, 8))),
+            1 => Expr::LitI64(next(seed, u64::MAX) as i64),
+            2 => Expr::LitF64(next(seed, 1_000_000) as f64 / 64.0),
+            3 => Expr::LitStr(format!("s{}", next(seed, 100))),
+            _ => Expr::Param(next(seed, 6) as usize),
+        };
+    }
+    fn sub(seed: &mut std::slice::Iter<'_, u64>, depth: u32) -> Box<Expr> {
+        Box::new(build_expr(seed, depth - 1))
+    }
+    match next(seed, 12) {
+        0 => Expr::Cmp(
+            [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][next(seed, 6) as usize],
+            sub(seed, depth),
+            sub(seed, depth),
+        ),
+        1 => Expr::And(vec![
+            build_expr(seed, depth - 1),
+            build_expr(seed, depth - 1),
+        ]),
+        2 => Expr::Or(vec![
+            build_expr(seed, depth - 1),
+            build_expr(seed, depth - 1),
+        ]),
+        3 => Expr::Not(sub(seed, depth)),
+        4 => Expr::Arith(
+            [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div][next(seed, 4) as usize],
+            sub(seed, depth),
+            sub(seed, depth),
+        ),
+        5 => Expr::Like(sub(seed, depth), format!("%p{}%", next(seed, 50))),
+        6 => Expr::InStr(
+            sub(seed, depth),
+            (0..next(seed, 4)).map(|i| format!("o{i}")).collect(),
+        ),
+        7 => Expr::InI64(sub(seed, depth), (0..next(seed, 4) as i64).collect()),
+        8 => Expr::Substr(
+            sub(seed, depth),
+            next(seed, 10) as usize,
+            next(seed, 10) as usize,
+        ),
+        9 => Expr::ExtractYear(sub(seed, depth)),
+        10 => Expr::Case(sub(seed, depth), sub(seed, depth), sub(seed, depth)),
+        _ => Expr::IsNull(sub(seed, depth)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn plan_serialization_roundtrips_random_exprs(
+        seed in proptest::collection::vec(any::<u64>(), 1..64),
+        depth in 0u32..4,
+    ) {
+        use hsqp::engine::plan::{MapExpr, Plan};
+        use hsqp::engine::queries::{Query, QueryStage, StageRole};
+        use hsqp::engine::serial::{decode_query, encode_query};
+        let expr = build_expr(&mut seed.iter(), depth);
+        let plan = Plan::scan(hsqp::tpch::TpchTable::Lineitem)
+            .filter(expr.clone())
+            .map(vec![MapExpr::new("e", expr)])
+            .gather();
+        let q = Query {
+            stages: vec![QueryStage { plan, role: StageRole::Result, estimated_rows: None }],
+            number: 0,
+        };
+        let bytes = encode_query(&q);
+        prop_assert_eq!(decode_query(&bytes).unwrap(), q);
     }
 }
