@@ -102,7 +102,7 @@ fn bench_join(c: &mut Criterion) {
     });
     let jt = JoinTable::build(orders, &[key]);
     g.bench_function("probe_lineitem", |b| {
-        b.iter(|| probe_join(&li, &jt, &[probe_key], JoinKind::Inner, &driver))
+        b.iter(|| probe_join(&li, &jt, &[probe_key], JoinKind::Inner, &driver, None))
     });
     g.finish();
 }

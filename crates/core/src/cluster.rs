@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use hsqp_net::{
@@ -42,6 +42,7 @@ use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
 use crate::plan::Plan;
 use crate::profile::{plan_node_count, QueryProfile, StageRecorder};
 use crate::queries::{Query, QueryStage, StageRole};
+use crate::serve::{CancelToken, SubmitOptions, TenantConfig, TenantId, TenantMetrics, WdrrQueue};
 use crate::vm::{compile_stage, CompiledStage};
 
 /// Which network stack the multiplexers use (the three lines of Figure 3).
@@ -157,6 +158,10 @@ pub struct ClusterConfig {
     /// Expression engine: compiled vector programs (default) or the
     /// tree-walking oracle.
     pub expr_engine: ExprEngine,
+    /// Pre-registered tenants with their scheduling weights and admission
+    /// caps. Tenants not listed here self-register with
+    /// [`TenantConfig::default`] (weight 1, no caps) on first submission.
+    pub tenants: Vec<(String, TenantConfig)>,
 }
 
 impl ClusterConfig {
@@ -179,6 +184,7 @@ impl ClusterConfig {
             max_concurrent: 4,
             profiling: true,
             expr_engine: ExprEngine::Compiled,
+            tenants: Vec::new(),
         }
     }
 
@@ -228,6 +234,9 @@ impl ClusterConfig {
                 "need at least one concurrent query slot".into(),
             ));
         }
+        for (name, tenant) in &self.tenants {
+            tenant.validate(name)?;
+        }
         Ok(())
     }
 }
@@ -242,6 +251,9 @@ pub struct QueryResult {
     /// Wall-clock execution time (includes time spent queued for a
     /// dispatcher slot).
     pub elapsed: Duration,
+    /// Time the query spent queued for admission before a dispatcher
+    /// slot picked it up (a component of [`elapsed`](Self::elapsed)).
+    pub queue_wait: Duration,
     /// Bytes this query shipped over the fabric (per-query accounting —
     /// concurrent queries do not pollute each other's numbers).
     pub bytes_shuffled: u64,
@@ -268,7 +280,8 @@ enum HandleState {
 /// State shared between a [`QueryHandle`] and the dispatcher.
 struct QueryShared {
     id: QueryId,
-    cancelled: AtomicBool,
+    tenant: TenantId,
+    cancel: CancelToken,
     stats: Arc<QueryNetStats>,
     state: Mutex<HandleState>,
     done: Condvar,
@@ -322,6 +335,36 @@ impl QueryHandle {
         }
     }
 
+    /// Block until the query completes or `timeout` elapses. Returns
+    /// `None` on timeout (the query keeps running — pair with
+    /// [`cancel`](Self::cancel) to abandon it); otherwise takes the
+    /// result exactly like [`wait`](Self::wait).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, EngineError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if let HandleState::Done(result) = &mut *state {
+                return Some(result.take().unwrap_or_else(|| {
+                    Err(EngineError::Execution("query result already taken".into()))
+                }));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            if self.shared.done.wait_for(&mut state, remaining).timed_out()
+                && matches!(&*state, HandleState::Pending)
+            {
+                return None;
+            }
+        }
+    }
+
+    /// The tenant this query was submitted as.
+    pub fn tenant(&self) -> &TenantId {
+        &self.shared.tenant
+    }
+
     /// Take the result if the query has completed; `None` while it is
     /// still queued or running. A completed result can be taken once.
     pub fn try_result(&self) -> Option<Result<QueryResult, EngineError>> {
@@ -336,13 +379,15 @@ impl QueryHandle {
         matches!(&*self.shared.state.lock(), HandleState::Done(_))
     }
 
-    /// Request cancellation. Cooperative: a queued query never starts, a
-    /// running one stops at its next stage boundary; either way its temp
-    /// relations, receive-hub slots, and stats registration are released
-    /// and [`wait`](Self::wait) returns [`EngineError::Cancelled`]. A
-    /// query already past its last stage boundary completes normally.
+    /// Request cancellation. Cooperative and morsel-bounded: a queued
+    /// query never starts, a running one stops at its next morsel (or
+    /// exchange-wait poll) rather than its next stage boundary; either
+    /// way its temp relations, receive-hub slots, and stats registration
+    /// are released and [`wait`](Self::wait) returns
+    /// [`EngineError::Cancelled`]. A query already past its last check
+    /// completes normally.
     pub fn cancel(&self) {
-        self.shared.cancelled.store(true, Ordering::SeqCst);
+        self.shared.cancel.cancel();
     }
 
     /// Live per-query fabric statistics (bytes/messages this query has put
@@ -377,7 +422,6 @@ struct Submission {
 /// everything down on [`shutdown`](Self::shutdown) or drop.
 pub struct Cluster {
     inner: Arc<ClusterInner>,
-    submit_tx: Option<Sender<Submission>>,
     dispatchers: Vec<std::thread::JoinHandle<()>>,
     mux_handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -393,6 +437,9 @@ struct ClusterInner {
     scheduler: Option<Arc<NetScheduler>>,
     metrics: MetricsRegistry,
     dm: DispatchMetrics,
+    /// Per-tenant admission queues drained weighted-deficit round-robin
+    /// by the dispatcher pool (replaces the old single FIFO channel).
+    submit_queue: WdrrQueue<Submission>,
 }
 
 /// Pre-resolved dispatcher instruments, so admission and completion paths
@@ -538,6 +585,7 @@ impl Cluster {
 
         let metrics = MetricsRegistry::new();
         let dm = DispatchMetrics::new(&metrics);
+        let submit_queue = WdrrQueue::new(&cfg.tenants);
         let inner = Arc::new(ClusterInner {
             cfg,
             fabric,
@@ -549,20 +597,21 @@ impl Cluster {
             scheduler,
             metrics,
             dm,
+            submit_queue,
         });
 
-        // Admission/dispatch pool: up to `max_concurrent` queries run their
-        // stages at once; the rest wait in the submission queue.
-        let (submit_tx, submit_rx): (Sender<Submission>, Receiver<Submission>) = unbounded();
+        // Admission/dispatch pool: up to `max_concurrent` queries run
+        // their stages at once; the rest wait in their tenant's queue and
+        // are drained weighted-deficit round-robin across tenants.
         let dispatchers = (0..inner.cfg.max_concurrent)
             .map(|d| {
                 let inner = Arc::clone(&inner);
-                let rx = submit_rx.clone();
                 std::thread::Builder::new()
                     .name(format!("dispatch-{d}"))
                     .spawn(move || {
-                        while let Ok(sub) = rx.recv() {
+                        while let Some((tenant, sub)) = inner.submit_queue.pop() {
                             inner.execute_submission(sub);
+                            inner.submit_queue.finish(&tenant);
                         }
                     })
                     .expect("spawn dispatcher")
@@ -571,7 +620,6 @@ impl Cluster {
 
         Ok(Self {
             inner,
-            submit_tx: Some(submit_tx),
             dispatchers,
             mux_handles,
         })
@@ -703,21 +751,38 @@ impl Cluster {
             .collect()
     }
 
-    /// Submit a query for asynchronous execution, returning immediately
-    /// with a [`QueryHandle`]. At most
-    /// [`max_concurrent`](ClusterConfig::max_concurrent) queries run at
-    /// once; the rest wait their turn in submission order.
+    /// Submit a query for asynchronous execution as the default tenant
+    /// with no deadline, returning immediately with a [`QueryHandle`]. At
+    /// most [`max_concurrent`](ClusterConfig::max_concurrent) queries run
+    /// at once; the rest wait their turn per the weighted-fair schedule.
     pub fn submit(&self, query: &Query) -> Result<QueryHandle, EngineError> {
+        self.submit_with(query, &SubmitOptions::default())
+    }
+
+    /// Submit a query under explicit serving options: the tenant it is
+    /// scheduled and accounted as, and an optional deadline after which
+    /// it is cooperatively cancelled (morsel-bounded) and resolves to
+    /// [`EngineError::DeadlineExceeded`].
+    ///
+    /// Fails fast with [`EngineError::Admission`] when the tenant is at
+    /// its `max_queued` cap.
+    pub fn submit_with(
+        &self,
+        query: &Query,
+        opts: &SubmitOptions,
+    ) -> Result<QueryHandle, EngineError> {
         self.ensure_up()?;
         if query.stages.is_empty() {
             return Err(EngineError::Planner(
                 "query needs at least one stage".into(),
             ));
         }
+        let submitted = Instant::now();
         let id = QueryId(self.inner.next_query.fetch_add(1, Ordering::Relaxed));
         let shared = Arc::new(QueryShared {
             id,
-            cancelled: AtomicBool::new(false),
+            tenant: opts.tenant.clone(),
+            cancel: CancelToken::with_deadline(opts.deadline.map(|d| submitted + d)),
             stats: self.inner.query_stats.register(id),
             state: Mutex::new(HandleState::Pending),
             done: Condvar::new(),
@@ -727,24 +792,69 @@ impl Cluster {
         let submission = Submission {
             stages: query.stages.clone(),
             programs: self.compile_programs(query),
-            submitted: Instant::now(),
+            submitted,
             shared: Arc::clone(&shared),
         };
-        self.inner.dm.submitted.inc();
         self.inner.dm.queue_depth.inc();
-        let sent = self
-            .submit_tx
-            .as_ref()
-            .and_then(|tx| tx.send(submission).ok());
-        if sent.is_none() {
+        if let Err(e) = self.inner.submit_queue.push(&opts.tenant, submission) {
             // The submission never reached a dispatcher: nothing will
             // retire its stats registration, so release it here instead of
             // leaking the entry until shutdown.
             self.inner.dm.queue_depth.dec();
             self.inner.query_stats.retire(id);
-            return Err(EngineError::ClusterDown);
+            if matches!(e, EngineError::Admission(_)) {
+                self.inner.tenant_counter(&opts.tenant, "rejected").inc();
+            }
+            return Err(e);
         }
+        self.inner.dm.submitted.inc();
+        self.inner.tenant_counter(&opts.tenant, "submitted").inc();
         Ok(QueryHandle { shared })
+    }
+
+    /// Register `tenant` (or update its entitlements if already known)
+    /// without restarting the cluster.
+    pub fn configure_tenant(&self, tenant: &str, cfg: TenantConfig) -> Result<(), EngineError> {
+        cfg.validate(tenant)?;
+        self.inner
+            .submit_queue
+            .configure(&TenantId::new(tenant), cfg);
+        Ok(())
+    }
+
+    /// Per-tenant serving counters rolled up from the metrics registry,
+    /// sorted by tenant name. Tenants appear once they have submitted at
+    /// least one query (or had one rejected).
+    pub fn tenant_metrics(&self) -> Vec<TenantMetrics> {
+        let snap = self.inner.metrics.snapshot();
+        let mut by_tenant: HashMap<String, TenantMetrics> = HashMap::new();
+        for (name, value) in &snap.counters {
+            let Some(rest) = name.strip_prefix("tenant.") else {
+                continue;
+            };
+            let Some((tenant, field)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            let entry = by_tenant
+                .entry(tenant.to_string())
+                .or_insert_with(|| TenantMetrics {
+                    tenant: tenant.to_string(),
+                    ..TenantMetrics::default()
+                });
+            match field {
+                "submitted" => entry.submitted = *value,
+                "completed" => entry.completed = *value,
+                "failed" => entry.failed = *value,
+                "cancelled" => entry.cancelled = *value,
+                "rejected" => entry.rejected = *value,
+                "bytes_shuffled" => entry.bytes_shuffled = *value,
+                "messages_sent" => entry.messages_sent = *value,
+                _ => {}
+            }
+        }
+        let mut out: Vec<TenantMetrics> = by_tenant.into_values().collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
     }
 
     /// Run a single plan SPMD and return the coordinator's result
@@ -788,7 +898,7 @@ impl Cluster {
         }
         // Close the submission queue: dispatchers drain it (failing queued
         // submissions fast, since `down` is set) and exit.
-        self.submit_tx.take();
+        self.inner.submit_queue.close();
         for h in self.dispatchers.drain(..) {
             let _ = h.join();
         }
@@ -824,10 +934,11 @@ impl ClusterInner {
     /// stats registration are released afterwards, so a cancelled query
     /// can never wedge the multiplexers or leak state.
     fn execute_submission(&self, sub: Submission) {
+        let queue_wait = sub.submitted.elapsed();
         self.dm.queue_depth.dec();
         self.dm
             .admission_wait_us
-            .observe(sub.submitted.elapsed().as_micros() as u64);
+            .observe(queue_wait.as_micros() as u64);
         self.dm.active.inc();
         let result = if self.down.load(Ordering::SeqCst) {
             Err(EngineError::ClusterDown)
@@ -839,13 +950,26 @@ impl ClusterInner {
             // panics outside the SPMD scope (stage bookkeeping itself), so
             // the submitter always gets an error rather than a
             // forever-blocked `wait()` and the dispatcher slot survives.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_stages(&sub)))
-                .unwrap_or_else(|payload| {
-                    Err(EngineError::Execution(format!(
-                        "query execution panicked: {}",
-                        panic_message(payload.as_ref())
-                    )))
-                })
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_stages(&sub, queue_wait)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(EngineError::Execution(format!(
+                    "query execution panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            })
+        };
+        // Morsel-level cancellation surfaces as a contained panic in the
+        // node threads; map it back to the typed error the token records.
+        // Only panic-shaped failures are remapped, so an unrelated error
+        // that merely races a late cancel keeps its own message.
+        let result = match result {
+            Err(EngineError::Execution(msg)) => match sub.shared.cancel.stop_reason() {
+                Some(reason) => Err(reason.into_error()),
+                None => Err(EngineError::Execution(msg)),
+            },
+            other => other,
         };
         for node in &self.nodes {
             node.temps.write().remove(&sub.shared.id);
@@ -853,24 +977,52 @@ impl ClusterInner {
         }
         self.query_stats.retire(sub.shared.id);
         self.dm.active.dec();
+        let tenant = &sub.shared.tenant;
         match &result {
-            Ok(_) => self.dm.completed.inc(),
-            Err(EngineError::Cancelled) => self.dm.cancelled.inc(),
-            Err(_) => self.dm.failed.inc(),
+            Ok(_) => {
+                self.dm.completed.inc();
+                self.tenant_counter(tenant, "completed").inc();
+            }
+            Err(EngineError::Cancelled) | Err(EngineError::DeadlineExceeded) => {
+                self.dm.cancelled.inc();
+                self.tenant_counter(tenant, "cancelled").inc();
+            }
+            Err(_) => {
+                self.dm.failed.inc();
+                self.tenant_counter(tenant, "failed").inc();
+            }
         }
+        // Per-tenant network rollup: whatever this query put on the wire
+        // (completed or not) is charged to its tenant.
+        self.tenant_counter(tenant, "bytes_shuffled")
+            .add(sub.shared.stats.bytes_sent());
+        self.tenant_counter(tenant, "messages_sent")
+            .add(sub.shared.stats.messages_sent());
         sub.shared.complete(result);
     }
 
-    fn run_stages(&self, sub: &Submission) -> Result<QueryResult, EngineError> {
+    /// The counter `tenant.<name>.<field>`, created on first use. Tenant
+    /// counters live in the shared registry so `--metrics` groups them
+    /// naturally (the rendering is name-sorted).
+    fn tenant_counter(&self, tenant: &TenantId, field: &str) -> Arc<Counter> {
+        self.metrics.counter(&format!("tenant.{tenant}.{field}"))
+    }
+
+    fn run_stages(
+        &self,
+        sub: &Submission,
+        queue_wait: Duration,
+    ) -> Result<QueryResult, EngineError> {
         let query = sub.shared.id;
-        let cancelled = &sub.shared.cancelled;
+        let cancel = &sub.shared.cancel;
         let mut params: Vec<Value> = Vec::new();
         let mut final_table: Option<Table> = None;
         for (stage_idx, stage) in sub.stages.iter().enumerate() {
             // Cooperative cancellation point: between stages (and before
-            // the first), where no exchange is in flight.
-            if cancelled.load(Ordering::SeqCst) {
-                return Err(EngineError::Cancelled);
+            // the first), where no exchange is in flight. The same token
+            // is checked per morsel inside the node threads.
+            if let Some(reason) = cancel.should_stop() {
+                return Err(reason.into_error());
             }
             // Reject dangling temp references and unbound parameters before
             // the plan reaches the node threads: a panic there would unwind
@@ -918,6 +1070,7 @@ impl ClusterInner {
                 base,
                 recorder.as_ref(),
                 programs,
+                cancel,
             )?;
             self.dm.stage_rounds.inc();
             if let Some(rec) = &recorder {
@@ -984,6 +1137,7 @@ impl ClusterInner {
             table: final_table
                 .ok_or_else(|| EngineError::Planner("query has no result stage".into()))?,
             elapsed: sub.submitted.elapsed(),
+            queue_wait,
             bytes_shuffled: sub.shared.stats.bytes_sent(),
             messages_sent: sub.shared.stats.messages_sent(),
             profile: sub
@@ -1001,6 +1155,7 @@ impl ClusterInner {
     /// panic out of `RecvHub::pop` instead of wedging this dispatcher
     /// slot — the cross-node abort protocol, applied in-process. The
     /// first failure is reported as [`EngineError::Execution`].
+    #[allow(clippy::too_many_arguments)]
     fn execute_spmd(
         &self,
         query: QueryId,
@@ -1009,6 +1164,7 @@ impl ClusterInner {
         base: u32,
         recorder: Option<&StageRecorder>,
         programs: Option<&CompiledStage>,
+        cancel: &CancelToken,
     ) -> Result<Vec<Batch>, EngineError> {
         let outcomes: Vec<Result<Batch, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -1023,6 +1179,7 @@ impl ClusterInner {
                             NodeExec::new(ctx, query, params, base)
                                 .with_recorder(node_rec)
                                 .with_programs(programs)
+                                .with_cancel(Some(cancel))
                                 .execute(plan)
                         }));
                         r.map_err(|payload| {

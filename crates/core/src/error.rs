@@ -26,6 +26,13 @@ pub enum EngineError {
     /// [`QueryHandle::cancel`](crate::cluster::QueryHandle::cancel) before
     /// it produced a result.
     Cancelled,
+    /// The submitting tenant was over one of its admission caps
+    /// (`max_queued` / `max_concurrent`) and the query was rejected
+    /// without being enqueued.
+    Admission(String),
+    /// The query's deadline elapsed before it produced a result; the
+    /// engine cancelled it cooperatively and freed its resources.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +45,8 @@ impl fmt::Display for EngineError {
             EngineError::Planner(msg) => write!(f, "planner error: {msg}"),
             EngineError::Execution(msg) => write!(f, "execution error: {msg}"),
             EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Admission(msg) => write!(f, "admission rejected: {msg}"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -66,6 +75,12 @@ mod tests {
         assert!(EngineError::Execution("no rows".into())
             .to_string()
             .contains("no rows"));
+        assert!(EngineError::Admission("tenant t over max_queued".into())
+            .to_string()
+            .contains("max_queued"));
+        assert!(EngineError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

@@ -333,6 +333,28 @@ impl RecvHub {
     /// exchange and is contained at the SPMD scope, surfacing as
     /// [`EngineError::Execution`](crate::error::EngineError::Execution).
     pub fn pop(&self, query: QueryId, id: u32, own: usize, steal: bool) -> Option<RecvMsg> {
+        self.pop_cancellable(query, id, own, steal, None)
+    }
+
+    /// [`pop`](Self::pop) that additionally polls a cooperative
+    /// cancellation token while blocked: a cancel or deadline trip lands
+    /// within one poll interval even when this consumer is starved
+    /// waiting on peer nodes' messages.
+    ///
+    /// # Panics
+    /// Panics (like [`pop`](Self::pop)'s abort path) when the token trips
+    /// — the panic unwinds the consumer out of the exchange and is
+    /// contained at the SPMD scope.
+    pub fn pop_cancellable(
+        &self,
+        query: QueryId,
+        id: u32,
+        own: usize,
+        steal: bool,
+        cancel: Option<&crate::serve::CancelToken>,
+    ) -> Option<RecvMsg> {
+        // Bounds how long a blocked consumer can outlive a cancel.
+        const CANCEL_POLL: std::time::Duration = std::time::Duration::from_millis(5);
         let mut st = self.state.lock();
         loop {
             if let Some(reason) = &st.dead {
@@ -340,6 +362,11 @@ impl RecvHub {
             }
             if let Some(reason) = st.aborted.get(&query.0) {
                 panic!("query {query} aborted: {reason}");
+            }
+            if let Some(token) = cancel {
+                if let Some(reason) = token.should_stop() {
+                    panic!("query {query} stopped at exchange wait: {reason:?}");
+                }
             }
             let ex = st
                 .exchanges
@@ -367,7 +394,14 @@ impl RecvHub {
             if ex.done_receiving() && drained {
                 return None;
             }
-            self.wakeup.wait(&mut st);
+            match cancel {
+                // A timed wait so the token is re-polled even when no
+                // deliver/abort notification ever arrives.
+                Some(_) => {
+                    let _ = self.wakeup.wait_for(&mut st, CANCEL_POLL);
+                }
+                None => self.wakeup.wait(&mut st),
+            }
         }
     }
 

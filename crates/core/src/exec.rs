@@ -34,8 +34,14 @@ use crate::ops::{
 };
 use crate::plan::{ExchangeKind, MapExpr, Plan};
 use crate::profile::{plan_node_count, NodeRecorder};
+use crate::serve::CancelToken;
 use crate::vm::{BoundProgram, CompiledStage, ExprProgram, OpPrograms};
 use crate::wire::{RowDeserializer, RowSerializer};
+
+/// How many serialized rows a send loop processes between cancellation
+/// checks (the morsel-equivalent granularity of the row-at-a-time
+/// broadcast/gather serializers).
+const CANCEL_CHECK_ROWS: usize = 4096;
 
 /// Shared, long-lived state of one simulated server node.
 pub struct NodeCtx {
@@ -156,6 +162,7 @@ pub struct NodeExec<'a> {
     next_exchange: AtomicU32,
     recorder: Option<&'a NodeRecorder>,
     programs: Option<&'a CompiledStage>,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> NodeExec<'a> {
@@ -172,6 +179,7 @@ impl<'a> NodeExec<'a> {
             next_exchange: AtomicU32::new(exchange_base),
             recorder: None,
             programs: None,
+            cancel: None,
         }
     }
 
@@ -191,6 +199,23 @@ impl<'a> NodeExec<'a> {
         self
     }
 
+    /// Attach the query's cooperative cancellation token: operator morsel
+    /// loops, send loops, and exchange waits then poll it and bail out by
+    /// panicking (contained by the per-node `catch_unwind`), bounding
+    /// cancel/deadline latency by one morsel instead of one stage.
+    pub fn with_cancel(mut self, cancel: Option<&'a CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Panic out of the current operator if the query was cancelled or
+    /// its deadline passed (no-op without a token).
+    fn check_cancel(&self) {
+        if let Some(token) = self.cancel {
+            token.check_morsel();
+        }
+    }
+
     fn programs_at(&self, idx: usize) -> Option<&'a OpPrograms> {
         self.programs.and_then(|p| p.get(idx))
     }
@@ -204,6 +229,10 @@ impl<'a> NodeExec<'a> {
     /// [`crate::profile::plan_labels`] for the numbering), recording its
     /// span when profiling is on.
     fn execute_at(&self, plan: &Plan, idx: usize) -> Batch {
+        // Operator boundaries are cancellation points too, covering
+        // operators whose inner loops run outside this module (join
+        // build/probe, aggregation, sort).
+        self.check_cancel();
         if let Some(rec) = self.recorder {
             rec.op_enter(idx);
         }
@@ -279,7 +308,7 @@ impl<'a> NodeExec<'a> {
                     .map(|k| build_t.schema().index_of(k))
                     .collect();
                 let build_rows = build_t.rows() as u64;
-                let jt = JoinTable::build(build_t, &build_idx);
+                let jt = JoinTable::build_cancellable(build_t, &build_idx, self.cancel);
                 let probe_t = self.execute_at(probe, idx + 1);
                 let probe_idx: Vec<usize> = probe_keys
                     .iter()
@@ -292,6 +321,7 @@ impl<'a> NodeExec<'a> {
                     &probe_idx,
                     *kind,
                     &self.ctx.driver,
+                    self.cancel,
                 ));
                 (out, rows_in)
             }
@@ -313,6 +343,7 @@ impl<'a> NodeExec<'a> {
                     &self.ctx.driver,
                     self.params,
                     self.programs_at(idx).map(|p| p.aggs.as_slice()),
+                    self.cancel,
                 ));
                 (out, rows_in)
             }
@@ -344,6 +375,7 @@ impl<'a> NodeExec<'a> {
             t.rows(),
             |_| Vec::<usize>::new(),
             |keep, _, m| {
+                self.check_cancel();
                 let mask = match &bound {
                     Some(b) => b.eval_mask(t, m.range(), self.params),
                     None => eval(pred, t, m.range(), self.params).into_mask(),
@@ -374,6 +406,7 @@ impl<'a> NodeExec<'a> {
             t.rows(),
             |_| Vec::<(usize, Vec<Column>)>::new(),
             |acc, _, m| {
+                self.check_cancel();
                 // One index vector per morsel, shared by every raw
                 // pass-through output.
                 let mut indices: Option<Vec<usize>> = None;
@@ -470,6 +503,7 @@ impl<'a> NodeExec<'a> {
             input.rows(),
             |_| PartitionState::new(buckets_total),
             |st, w, m| {
+                self.check_cancel();
                 for row in m.range() {
                     let bucket = row_bucket(&key_cols, row, buckets_total);
                     let buf = st.buffer(bucket, ctx, w.socket);
@@ -619,6 +653,9 @@ impl<'a> NodeExec<'a> {
             .take(ctx.alloc_policy, worker_socket, &ctx.topology);
         buf.resize(HEADER_LEN, 0);
         for row in 0..input.rows() {
+            if row % CANCEL_CHECK_ROWS == 0 {
+                self.check_cancel();
+            }
             ser.serialize_row(input, row, &mut buf);
             if buf.len() >= ctx.message_capacity {
                 flush(buf, socket);
@@ -650,6 +687,9 @@ impl<'a> NodeExec<'a> {
             .take(ctx.alloc_policy, worker_socket, &ctx.topology);
         buf.resize(HEADER_LEN, 0);
         for row in 0..input.rows() {
+            if row % CANCEL_CHECK_ROWS == 0 {
+                self.check_cancel();
+            }
             ser.serialize_row(input, row, &mut buf);
             if buf.len() >= ctx.message_capacity {
                 let mut full = buf;
@@ -731,6 +771,7 @@ impl<'a> NodeExec<'a> {
 
         let query = self.query;
         let recorder = self.recorder;
+        let cancel = self.cancel;
         let pieces: Vec<Table> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers as usize);
             for w in 0..workers {
@@ -751,8 +792,11 @@ impl<'a> NodeExec<'a> {
                     loop {
                         // Time blocked on the receive hub: the worker's
                         // share of network wait at this exchange boundary.
+                        // The cancellable pop polls the token while
+                        // blocked, so a cancel/deadline lands even when
+                        // this node is starved waiting on its peers.
                         let pop_t0 = Instant::now();
-                        let msg = hub.pop(query, id, own_queue, stealing);
+                        let msg = hub.pop_cancellable(query, id, own_queue, stealing, cancel);
                         wait += pop_t0.elapsed();
                         let Some(msg) = msg else { break };
                         batches += 1;

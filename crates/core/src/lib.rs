@@ -43,6 +43,11 @@
 //! boundaries) into each query's [`QueryProfile`], and the cluster-wide
 //! [`metrics`] registry aggregates dispatcher and fabric health across
 //! queries.
+//!
+//! The [`serve`] module makes the engine multi-tenant: queries are tagged
+//! with a [`TenantId`], admitted against per-tenant caps, scheduled by
+//! weighted deficit round-robin, and cancelled cooperatively at morsel
+//! granularity (explicit [`QueryHandle::cancel`] or a per-query deadline).
 
 pub mod cluster;
 pub mod error;
@@ -59,6 +64,7 @@ pub mod profile;
 pub mod queries;
 pub mod remote;
 pub mod serial;
+pub mod serve;
 pub mod session;
 pub mod vm;
 pub mod wire;
@@ -75,5 +81,8 @@ pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
 pub use planner::{Planner, PlannerConfig, TableStats};
 pub use profile::{chrome_trace, QueryProfile};
 pub use remote::{NodeServer, ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
+pub use serve::{
+    ArrivalProcess, CancelToken, StopReason, SubmitOptions, TenantConfig, TenantId, TenantMetrics,
+};
 pub use session::{Session, SessionBuilder};
 pub use vm::{CompiledStage, ExprProgram};

@@ -14,7 +14,22 @@ use hsqp_storage::{decimal_to_f64, Bitmap, Column, DataType, Field, Schema, Tabl
 use crate::expr::{eval, EvalVec, VecData};
 use crate::local::MorselDriver;
 use crate::plan::{AggFunc, AggPhase, AggSpec, JoinKind, SortKey};
+use crate::serve::CancelToken;
 use crate::vm::{BoundProgram, ExprProgram};
+
+/// Rows a sequential operator loop processes between cancellation checks.
+/// Smaller than the morsel-loop interval because hash-table builds cost
+/// more per row than streaming loops.
+const CANCEL_CHECK_ROWS: usize = 1024;
+
+/// Morsel-loop cancellation point: panic out of the operator (to the
+/// per-query containment net) once the query's token has tripped.
+#[inline]
+fn check_cancel(cancel: Option<&CancelToken>) {
+    if let Some(token) = cancel {
+        token.check_morsel();
+    }
+}
 
 /// A fast, non-cryptographic hasher for join/aggregation keys (FxHash's
 /// multiply-xor scheme; HashDoS is not a concern inside a query engine).
@@ -157,11 +172,25 @@ pub struct JoinTable {
 impl JoinTable {
     /// Build the hash table from `build` keyed by `key_cols`.
     pub fn build(build: impl Into<Arc<Table>>, key_cols: &[usize]) -> Self {
+        Self::build_cancellable(build, key_cols, None)
+    }
+
+    /// [`build`](Self::build) with a cooperative cancellation point every
+    /// `CANCEL_CHECK_ROWS` build rows, so cancelling a query mid-build
+    /// does not wait out the whole hash-table construction.
+    pub fn build_cancellable(
+        build: impl Into<Arc<Table>>,
+        key_cols: &[usize],
+        cancel: Option<&CancelToken>,
+    ) -> Self {
         let build = build.into();
         let mut index: FxMap<Key, Vec<u32>> = FxMap::default();
         {
             let cols = join_key_cols(&build, key_cols);
             for row in 0..build.rows() {
+                if row % CANCEL_CHECK_ROWS == 0 {
+                    check_cancel(cancel);
+                }
                 let key = join_key_of(&cols, row);
                 if key.contains(&KeyPart::Null) {
                     continue; // NULL keys never join
@@ -207,13 +236,15 @@ pub fn join_schema(probe: &Schema, build: &Schema, kind: JoinKind) -> Schema {
 }
 
 /// Probe `probe` against `table`, morsel-parallel, producing the joined
-/// result.
+/// result. Each morsel is a cooperative cancellation point when a token
+/// is supplied.
 pub fn probe_join(
     probe: &Table,
     table: &JoinTable,
     probe_key_cols: &[usize],
     kind: JoinKind,
     driver: &MorselDriver,
+    cancel: Option<&CancelToken>,
 ) -> Table {
     let out_schema = join_schema(probe.schema(), table.build.schema(), kind);
     let cols = join_key_cols(probe, probe_key_cols);
@@ -222,6 +253,7 @@ pub fn probe_join(
         probe.rows(),
         |_| (Vec::<usize>::new(), Vec::<Option<u32>>::new()),
         |(probe_idx, build_idx), _, m| {
+            check_cancel(cancel);
             for row in m.range() {
                 let key = join_key_of(&cols, row);
                 let matches = if key.contains(&KeyPart::Null) {
@@ -449,7 +481,7 @@ pub fn aggregate(
     driver: &MorselDriver,
     params: &[Value],
 ) -> Table {
-    aggregate_with(input, group_by, aggs, phase, driver, params, None)
+    aggregate_with(input, group_by, aggs, phase, driver, params, None, None)
 }
 
 /// [`aggregate`] with optional compiled input programs (one slot per
@@ -458,6 +490,7 @@ pub fn aggregate(
 /// once against `input` here — a slot whose bind fails silently reverts to
 /// the tree walker for that aggregate alone. `Final`-phase merges read
 /// partial-state columns directly and take no programs.
+#[allow(clippy::too_many_arguments)]
 pub fn aggregate_with(
     input: &Table,
     group_by: &[usize],
@@ -466,6 +499,7 @@ pub fn aggregate_with(
     driver: &MorselDriver,
     params: &[Value],
     programs: Option<&[(String, Option<ExprProgram>)]>,
+    cancel: Option<&CancelToken>,
 ) -> Table {
     assert!(
         phase == AggPhase::Final
@@ -513,6 +547,7 @@ pub fn aggregate_with(
         input.rows(),
         |_| FxMap::<Key, Vec<AggState>>::default(),
         |map, _, m| {
+            check_cancel(cancel);
             // Evaluate agg inputs once per morsel.
             let inputs: Vec<AggInput> = effective
                 .iter()
@@ -826,7 +861,7 @@ mod tests {
         let probe = orders_like(); // keys 0..200
         let build = dim(); // dk 0,1,2,0
         let jt = JoinTable::build(build, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver(), None);
         // Probe keys 0,1,2 match; key 0 matches twice.
         assert_eq!(out.rows(), 4);
         assert_eq!(out.schema().len(), 5);
@@ -849,7 +884,7 @@ mod tests {
             vec![Column::I64(vec![1], None), Column::I64(vec![99], None)],
         );
         let jt = JoinTable::build(build, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftOuter, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftOuter, &driver(), None);
         assert_eq!(out.rows(), 4);
         let matched: Vec<bool> = (0..4).map(|r| !out.value(r, 2).is_null()).collect();
         assert_eq!(matched.iter().filter(|&&b| b).count(), 1);
@@ -862,8 +897,8 @@ mod tests {
     fn semi_and_anti_partition_probe() {
         let probe = orders_like();
         let jt = JoinTable::build(dim(), &[0]);
-        let semi = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
-        let anti = probe_join(&probe, &jt, &[0], JoinKind::LeftAnti, &driver());
+        let semi = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver(), None);
+        let anti = probe_join(&probe, &jt, &[0], JoinKind::LeftAnti, &driver(), None);
         assert_eq!(semi.rows(), 3); // keys 0,1,2 (distinct probe rows)
         assert_eq!(anti.rows(), 197);
         assert_eq!(semi.schema().len(), probe.schema().len());
@@ -883,7 +918,7 @@ mod tests {
             vec![Column::F64(vec![2.5, 7.0], None)],
         );
         let jt = JoinTable::build(build, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver(), None);
         assert_eq!(out.rows(), 1, "2.50 must match the f64 key 2.5");
         // The surviving probe row keeps its fixed-point representation.
         assert_eq!(out.value(0, 0), Value::I64(250));
@@ -893,7 +928,7 @@ mod tests {
             vec![Column::I64(vec![100, 250, 999], None)],
         );
         let jt = JoinTable::build(renamed, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver(), None);
         assert_eq!(out.rows(), 3);
     }
 
@@ -928,7 +963,7 @@ mod tests {
             )],
         );
         let jt = JoinTable::build(build, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::LeftSemi, &driver(), None);
         // 2 and 3 match by value; 2^53+1 has no exact f64 peer.
         assert_eq!(out.rows(), 2);
         // Pure Int64 ⋈ Int64 is unchanged by canonicalization, including
@@ -938,7 +973,7 @@ mod tests {
             vec![Column::I64(vec![1, (1 << 53) + 1, i64::MAX], None)],
         );
         let jt = JoinTable::build(big, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver(), None);
         assert_eq!(out.rows(), 2); // 1 and 2^53+1
     }
 
@@ -957,7 +992,7 @@ mod tests {
             vec![b],
         );
         let jt = JoinTable::build(build, &[0]);
-        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver());
+        let out = probe_join(&probe, &jt, &[0], JoinKind::Inner, &driver(), None);
         assert_eq!(out.rows(), 1); // only 1 = 1 joins; NULL ≠ NULL
     }
 

@@ -76,8 +76,10 @@ use crate::exec::{NodeCtx, NodeExec};
 use crate::local::MorselDriver;
 use crate::queries::{Query, QueryStage, StageRole};
 use crate::serial::{
-    self, decode_stage, decode_table, decode_values, encode_stage, encode_table, encode_values, Rd,
+    self, decode_stage_tagged, decode_table, decode_values, encode_stage_tagged, encode_table,
+    encode_values, Rd,
 };
+use crate::serve::{CancelToken, SubmitOptions};
 
 // Control-protocol opcodes (requests < 100, replies >= 100).
 const OP_JOIN: u8 = 0;
@@ -140,12 +142,18 @@ struct QueryWorker {
     jobs: Sender<StageJob>,
     handle: std::thread::JoinHandle<()>,
     stats: Arc<QueryNetStats>,
+    /// Tripped by a coordinator `Abort` so in-flight morsel loops stop
+    /// cooperatively instead of running the stage to completion.
+    cancel: CancelToken,
 }
 
 struct StageJob {
     stage_idx: u32,
     stage: QueryStage,
     params: Vec<Value>,
+    /// Remaining deadline budget shipped by the coordinator, microseconds
+    /// measured at encode time.
+    deadline_us: Option<u64>,
 }
 
 impl NodeServer {
@@ -350,7 +358,7 @@ impl NodeServer {
                 let params_len = r.u32()? as usize;
                 let params = decode_values(r.take(params_len)?)?;
                 let stage_len = r.u32()? as usize;
-                let stage = decode_stage(r.take(stage_len)?)?;
+                let envelope = decode_stage_tagged(r.take(stage_len)?)?;
                 let worker = workers.entry(query).or_insert_with(|| {
                     spawn_query_worker(
                         Arc::clone(ctx),
@@ -363,8 +371,9 @@ impl NodeServer {
                     .jobs
                     .send(StageJob {
                         stage_idx,
-                        stage,
+                        stage: envelope.stage,
                         params,
+                        deadline_us: envelope.deadline_us,
                     })
                     .map_err(|_| format!("query {query} worker is gone"))?;
             }
@@ -394,6 +403,11 @@ impl NodeServer {
             }
             OP_ABORT => {
                 let query = r.u32()?;
+                // Trip the cooperative token first so running morsel loops
+                // stop, then unwedge consumers blocked on the hub.
+                if let Some(w) = workers.get(&query) {
+                    w.cancel.cancel();
+                }
                 ctx.hub.abort(QueryId(query), "aborted by the coordinator");
             }
             OP_STATS => {
@@ -430,14 +444,17 @@ fn spawn_query_worker(
     stats: Arc<QueryNetStats>,
 ) -> QueryWorker {
     let (jobs, rx): (Sender<StageJob>, Receiver<StageJob>) = unbounded();
+    let cancel = CancelToken::new();
+    let token = cancel.clone();
     let handle = std::thread::Builder::new()
         .name(format!("query-{}", query.0))
-        .spawn(move || run_query_worker(&ctx, query, &rx, &writer))
+        .spawn(move || run_query_worker(&ctx, query, &rx, &writer, &token))
         .expect("spawn query worker");
     QueryWorker {
         jobs,
         handle,
         stats,
+        cancel,
     }
 }
 
@@ -446,6 +463,7 @@ fn run_query_worker(
     query: QueryId,
     rx: &Receiver<StageJob>,
     writer: &Arc<Mutex<TcpStream>>,
+    cancel: &CancelToken,
 ) {
     // Schemas of temps this query materialized, for local stage compilation
     // (deterministic: every node compiles the same plan against the same
@@ -459,9 +477,17 @@ fn run_query_worker(
             let (compiled, out_schema) =
                 crate::vm::compile_stage(&job.stage.plan, &base, &temp_schemas);
             let programs = (!compiled.is_empty()).then_some(&compiled);
+            // The per-stage token shares the coordinator-abort tripwire and
+            // adds this stage's remaining deadline budget, so morsel loops
+            // stop within one morsel of either signal.
+            let stage_cancel = cancel.child_with_deadline(
+                job.deadline_us
+                    .map(|us| Instant::now() + Duration::from_micros(us)),
+            );
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 NodeExec::new(ctx, query, &job.params, job.stage_idx * 100_000)
                     .with_programs(programs)
+                    .with_cancel(Some(&stage_cancel))
                     .execute(&job.stage.plan)
             }))
             .map(|batch| (batch, out_schema))
@@ -784,6 +810,21 @@ impl ProcessCluster {
     /// per-node temps behind, the final stage's gathered table comes back
     /// from node 0.
     pub fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
+        self.run_with(query, &SubmitOptions::default())
+    }
+
+    /// [`run`](Self::run) with serving-layer options: the submitting
+    /// tenant is shipped to the nodes for observability and an optional
+    /// deadline bounds the whole query — each stage carries the remaining
+    /// budget, node-side morsel loops stop within one morsel of it
+    /// elapsing, and the coordinator returns
+    /// [`EngineError::DeadlineExceeded`] after aborting and retiring the
+    /// query on every node.
+    pub fn run_with(
+        &self,
+        query: &Query,
+        opts: &SubmitOptions,
+    ) -> Result<QueryResult, EngineError> {
         self.ensure_up()?;
         if query.stages.is_empty() {
             return Err(EngineError::Planner(
@@ -791,12 +832,13 @@ impl ProcessCluster {
             ));
         }
         let start = Instant::now();
+        let deadline = opts.deadline.map(|d| start + d);
         let id = self.next_query.fetch_add(1, Ordering::Relaxed);
         let stats = self.query_stats.register(QueryId(id));
         let (tx, rx) = unbounded();
         self.shared.pending.lock().insert(id, tx);
 
-        let outcome = self.run_stages(id, query, &rx);
+        let mut outcome = self.run_stages(id, query, opts, deadline, &rx);
         if outcome.is_err() && !self.down.load(Ordering::SeqCst) {
             // Unwedge every node first (ordered before Retire on each
             // control connection), then clean up.
@@ -809,11 +851,21 @@ impl ProcessCluster {
         self.shared.pending.lock().remove(&id);
         self.query_stats.retire(QueryId(id));
 
+        // A node that stopped at its shipped deadline reports StageFail
+        // with the token's panic message; fold that back into the typed
+        // error the in-process driver returns for the same condition.
+        if let Err(EngineError::Execution(_)) = &outcome {
+            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                outcome = Err(EngineError::DeadlineExceeded);
+            }
+        }
+
         let table = outcome?;
         Ok(QueryResult {
             query: QueryId(id),
             table,
             elapsed: start.elapsed(),
+            queue_wait: Duration::ZERO,
             bytes_shuffled: stats.bytes_sent(),
             messages_sent: stats.messages_sent(),
             profile: None,
@@ -824,6 +876,8 @@ impl ProcessCluster {
         &self,
         id: u32,
         query: &Query,
+        opts: &SubmitOptions,
+        deadline: Option<Instant>,
         rx: &Receiver<(usize, NodeReply)>,
     ) -> Result<Table, EngineError> {
         if self.shared.dead.load(Ordering::SeqCst) {
@@ -833,6 +887,18 @@ impl ProcessCluster {
         let mut params: Vec<Value> = Vec::new();
         let mut final_table: Option<Table> = None;
         for (stage_idx, stage) in query.stages.iter().enumerate() {
+            // Ship the remaining budget, not the absolute deadline: the
+            // node processes' clocks are not synchronized with ours.
+            let remaining = match deadline {
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(EngineError::DeadlineExceeded);
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
             let mut frame = Vec::new();
             serial::put_u8(&mut frame, OP_STAGE);
             serial::put_u32(&mut frame, id);
@@ -840,7 +906,11 @@ impl ProcessCluster {
             let params_bytes = encode_values(&params);
             serial::put_u32(&mut frame, params_bytes.len() as u32);
             frame.extend_from_slice(&params_bytes);
-            let stage_bytes = encode_stage(stage);
+            let stage_bytes = encode_stage_tagged(
+                stage,
+                Some(opts.tenant.as_str()),
+                remaining.map(|d| d.as_micros() as u64),
+            );
             serial::put_u32(&mut frame, stage_bytes.len() as u32);
             frame.extend_from_slice(&stage_bytes);
             self.broadcast(&frame)?;
@@ -848,11 +918,24 @@ impl ProcessCluster {
             let mut done = vec![false; n];
             let mut node0_table: Option<Table> = None;
             while done.iter().any(|d| !d) {
-                let (node, reply) = rx.recv_timeout(self.cfg.reply_timeout).map_err(|_| {
-                    EngineError::Execution(format!(
-                        "stage {stage_idx} of q{id} timed out after {:?}",
-                        self.cfg.reply_timeout
-                    ))
+                // Wait no longer than the deadline allows; the nodes stop
+                // themselves too, this is the coordinator-side backstop.
+                let wait = match deadline {
+                    Some(dl) => self
+                        .cfg
+                        .reply_timeout
+                        .min(dl.saturating_duration_since(Instant::now())),
+                    None => self.cfg.reply_timeout,
+                };
+                let (node, reply) = rx.recv_timeout(wait).map_err(|_| {
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        EngineError::DeadlineExceeded
+                    } else {
+                        EngineError::Execution(format!(
+                            "stage {stage_idx} of q{id} timed out after {:?}",
+                            self.cfg.reply_timeout
+                        ))
+                    }
                 })?;
                 match reply {
                     NodeReply::StageDone { stage, table, .. } if stage == stage_idx as u32 => {
@@ -1158,6 +1241,29 @@ mod tests {
         // The cluster survives for the next query.
         let ok = tpch_query(6).unwrap();
         assert!(pc.run(&ok).is_ok());
+        pc.shutdown();
+    }
+
+    #[test]
+    fn remote_deadline_cancels_instead_of_wedging() {
+        let addrs = spawn_nodes(2);
+        let pc = ProcessCluster::connect(&addrs, ProcessClusterConfig::default()).unwrap();
+        pc.load_tpch(0.01).unwrap();
+        // A heavy multi-join with a deadline far below its runtime: the
+        // nodes stop at a morsel boundary and the coordinator returns the
+        // typed error instead of wedging on the stage replies.
+        let q = tpch_query(9).unwrap();
+        let opts = SubmitOptions::tenant("gold").with_deadline(Duration::from_millis(2));
+        match pc.run_with(&q, &opts) {
+            Err(EngineError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The cluster survives for the next query, and the tenant tag
+        // rides along on the successful path too.
+        let ok = tpch_query(6).unwrap();
+        let r = pc.run_with(&ok, &SubmitOptions::tenant("gold")).unwrap();
+        assert!(r.table.rows() > 0);
+        assert_eq!(r.queue_wait, Duration::ZERO);
         pc.shutdown();
     }
 

@@ -30,7 +30,8 @@ use crate::wire::{RowDeserializer, RowSerializer};
 pub const SERIAL_MAGIC: u32 = 0x504C_414E;
 /// Version of the plan encoding. Bump on any incompatible change — the
 /// round-trip tests pin the format, and decode rejects mismatches.
-pub const SERIAL_VERSION: u16 = 1;
+/// v2 added the tenant / deadline tail to stage envelopes.
+pub const SERIAL_VERSION: u16 = 2;
 
 // ---------------------------------------------------------------------------
 // Primitive writers / reader
@@ -65,7 +66,7 @@ pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_opt<T>(out: &mut Vec<u8>, v: Option<&T>, enc: impl FnOnce(&mut Vec<u8>, &T)) {
+fn put_opt<T: ?Sized>(out: &mut Vec<u8>, v: Option<&T>, enc: impl FnOnce(&mut Vec<u8>, &T)) {
     match v {
         None => put_u8(out, 0),
         Some(x) => {
@@ -704,23 +705,61 @@ fn dec_stage_body(r: &mut Rd<'_>) -> DecodeResult<QueryStage> {
     })
 }
 
+/// A decoded stage plus the serving-layer tags the coordinator attached:
+/// which tenant submitted the query and how many microseconds of its
+/// deadline budget remain (measured at encode time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageEnvelope {
+    /// The stage itself.
+    pub stage: QueryStage,
+    /// Submitting tenant, if the coordinator tagged one.
+    pub tenant: Option<String>,
+    /// Remaining deadline budget in microseconds, if the query has one.
+    pub deadline_us: Option<u64>,
+}
+
 /// Encode one query stage (the unit the coordinator ships per `Stage`
 /// command).
 pub fn encode_stage(stage: &QueryStage) -> Vec<u8> {
+    encode_stage_tagged(stage, None, None)
+}
+
+/// Encode one query stage together with its serving-layer tags (tenant
+/// name and remaining deadline budget in microseconds).
+pub fn encode_stage_tagged(
+    stage: &QueryStage,
+    tenant: Option<&str>,
+    deadline_us: Option<u64>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     envelope(&mut out);
     enc_stage_body(&mut out, stage);
+    put_opt(&mut out, tenant, put_str);
+    put_opt(&mut out, deadline_us.as_ref(), |o, v| put_u64(o, *v));
     out
 }
 
 /// Decode one query stage; rejects version skew, unknown tags, truncated
-/// input, and trailing garbage.
+/// input, and trailing garbage. Drops the serving-layer tags — use
+/// [`decode_stage_tagged`] to keep them.
 pub fn decode_stage(buf: &[u8]) -> DecodeResult<QueryStage> {
+    Ok(decode_stage_tagged(buf)?.stage)
+}
+
+/// Decode one query stage together with its serving-layer tags (inverse
+/// of [`encode_stage_tagged`]).
+pub fn decode_stage_tagged(buf: &[u8]) -> DecodeResult<StageEnvelope> {
     let mut r = Rd::new(buf);
     check_envelope(&mut r)?;
     let stage = dec_stage_body(&mut r)?;
+    let tenant = r.opt(|x| x.str())?;
+    let deadline_us = r.opt(|x| x.u64())?;
     r.finish()?;
-    Ok(stage)
+    Ok(StageEnvelope {
+        stage,
+        tenant,
+        deadline_us,
+    })
 }
 
 /// Encode a whole multi-stage query.
@@ -852,6 +891,29 @@ mod tests {
             let back = decode_query(&bytes).expect("decode");
             assert_eq!(q, back, "Q{n} did not survive the round trip");
         }
+    }
+
+    #[test]
+    fn stage_tags_roundtrip() {
+        let q = tpch_query(6).unwrap();
+        let stage = &q.stages[0];
+
+        // Untagged stages survive through both the plain and tagged paths.
+        let plain = encode_stage(stage);
+        assert_eq!(&decode_stage(&plain).unwrap(), stage);
+        let env = decode_stage_tagged(&plain).unwrap();
+        assert_eq!(&env.stage, stage);
+        assert_eq!(env.tenant, None);
+        assert_eq!(env.deadline_us, None);
+
+        // Tagged stages carry tenant and deadline through the round trip,
+        // and the plain decoder still accepts (and drops) the tags.
+        let tagged = encode_stage_tagged(stage, Some("gold"), Some(1_500_000));
+        let env = decode_stage_tagged(&tagged).unwrap();
+        assert_eq!(&env.stage, stage);
+        assert_eq!(env.tenant.as_deref(), Some("gold"));
+        assert_eq!(env.deadline_us, Some(1_500_000));
+        assert_eq!(&decode_stage(&tagged).unwrap(), stage);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate an `hsqp --open-loop` report ("hsqp-openloop-v1").
+
+Usage: check_openloop.py REPORT.json [--reference SERIAL.json]
+                         [--ratio-min X --ratio-max Y] [--min-completed N]
+
+Always enforced: the schema tag, zero failed arrivals, zero recorded
+drift failures, and at least --min-completed completions (default 1).
+With --reference, every query's row count must equal the serial
+`hsqp --output` run — concurrent serving must not change answers.
+With --ratio-min/--ratio-max the report must contain exactly two
+tenants with distinct weights, and the completed-count ratio of the
+heavier over the lighter tenant must land inside [min, max]. Under a
+saturating offered load the deficit round-robin scheduler serves
+tenants in proportion to their weights, so for 4:1 weights the ratio
+sits near 4; the band absorbs edge effects at the window boundaries.
+"""
+
+import argparse
+import json
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report")
+    ap.add_argument("--reference", help="serial hsqp --output report (row oracle)")
+    ap.add_argument("--ratio-min", type=float)
+    ap.add_argument("--ratio-max", type=float)
+    ap.add_argument("--min-completed", type=int, default=1)
+    args = ap.parse_args()
+
+    rep = load(args.report)
+    errors = []
+
+    if rep.get("schema") != "hsqp-openloop-v1":
+        errors.append(f"unexpected schema tag: {rep.get('schema')!r}")
+    if rep.get("failed", -1) != 0:
+        errors.append(f"{rep.get('failed')} arrivals failed (expected 0)")
+    if rep.get("failures", -1) != 0:
+        errors.append(f"report recorded {rep.get('failures')} drift failures")
+    completed = rep.get("completed", 0)
+    if completed < args.min_completed:
+        errors.append(
+            f"only {completed} completions (need >= {args.min_completed})"
+        )
+
+    if args.reference:
+        ref = {
+            q["query"]: q["rows"]
+            for q in load(args.reference)["queries"]
+            if "rows" in q
+        }
+        for q in rep.get("queries", []):
+            n, rows = q["query"], q["rows"]
+            if n not in ref:
+                errors.append(f"Q{n}: not present in serial reference")
+            elif ref[n] != rows:
+                errors.append(
+                    f"Q{n}: rows diverged from serial run "
+                    f"(serial={ref[n]} open-loop={rows})"
+                )
+            else:
+                print(f"Q{n}: rows={rows} x{q.get('executions', '?')} (matches serial)")
+
+    if (args.ratio_min is None) != (args.ratio_max is None):
+        ap.error("--ratio-min and --ratio-max must be given together")
+    if args.ratio_min is not None:
+        tenants = rep.get("tenants", [])
+        if len(tenants) != 2 or tenants[0]["weight"] == tenants[1]["weight"]:
+            errors.append(
+                "ratio gate needs exactly two tenants with distinct weights, "
+                f"got {[(t['tenant'], t['weight']) for t in tenants]}"
+            )
+        else:
+            heavy, light = sorted(tenants, key=lambda t: -t["weight"])
+            print(
+                f"tenants: {heavy['tenant']} (w{heavy['weight']}) completed "
+                f"{heavy['completed']}, {light['tenant']} (w{light['weight']}) "
+                f"completed {light['completed']}"
+            )
+            if light["completed"] == 0:
+                errors.append(
+                    f"lighter tenant {light['tenant']} completed nothing — "
+                    "starved or load too low"
+                )
+            else:
+                ratio = heavy["completed"] / light["completed"]
+                print(f"completed ratio {ratio:.2f} (band [{args.ratio_min}, {args.ratio_max}])")
+                if not (args.ratio_min <= ratio <= args.ratio_max):
+                    errors.append(
+                        f"completed ratio {ratio:.2f} outside "
+                        f"[{args.ratio_min}, {args.ratio_max}]"
+                    )
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        raise SystemExit(1)
+    print(f"{args.report}: ok ({completed} completed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,20 +13,33 @@
 //! JSON report adds queries/hour plus per-query latency percentiles —
 //! the first concurrency benchmark trajectory.
 //!
+//! With `--open-loop RATE` the driver switches to an *open-loop* serving
+//! benchmark: arrivals are generated at a fixed offered load
+//! (queries/hour, Poisson or uniform inter-arrival times) independent of
+//! completions, optionally attributed round-robin to weighted tenants
+//! (`--tenants gold:4,silver:1`), and the report records latency and
+//! queue-wait percentiles overall and per tenant — the
+//! latency-vs-offered-load methodology of the paper's serving evaluation.
+//!
 //! ```bash
 //! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --output timings.json
 //! cargo run --release --bin hsqp -- --sf 0.01 --nodes 4 --clients 4 --rounds 3
+//! cargo run --release --bin hsqp -- --sf 0.01 --open-loop 40000 --duration 10 \
+//!     --tenants gold:4,silver:1
 //! ```
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, ExprEngine, Transport};
 use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
 use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
 use hsqp::engine::remote::{ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
+use hsqp::engine::serve::{parse_tenant_spec, ArrivalProcess, SubmitOptions, TenantConfig};
 use hsqp::engine::vm::compile_stage;
 use hsqp::engine::EngineError;
 use hsqp::engine::{chrome_trace, QueryProfile, QueryResult};
@@ -82,6 +95,26 @@ OPTIONS:
                            concurrent submission API and reports
                            queries/hour + latency percentiles
     --rounds <R>           Passes over the query set per client (default 1)
+    --open-loop <RATE>     Open-loop serving benchmark: generate arrivals
+                           at RATE queries/hour for --duration seconds,
+                           independent of completions, and report latency
+                           and queue-wait percentiles (overall and per
+                           tenant). Queries still running at the window
+                           end are cancelled (morsel-bounded). --clients
+                           sets the concurrent execution slots
+    --duration <S>         Open-loop measurement window in seconds
+                           (default 10)
+    --arrivals <A>         poisson | uniform inter-arrival times for
+                           --open-loop (default poisson)
+    --tenants <SPEC>       Comma-separated name:weight tenants, e.g.
+                           gold:4,silver:1 (bare name = weight 1).
+                           Open-loop arrivals are attributed round-robin
+                           across them; the in-process dispatcher serves
+                           their queues by weighted deficit round-robin
+    --deadline-ms <N>      Per-query deadline for --open-loop submissions;
+                           overdue queries are cancelled cooperatively
+                           within one morsel
+    --seed <N>             Arrival-process RNG seed (default 42)
     --output <PATH>        Also write the JSON report to PATH
     --analyze              EXPLAIN ANALYZE: after each query, print its
                            plan tree annotated with actual rows, wall
@@ -131,6 +164,12 @@ struct Args {
     message_kb: usize,
     clients: u16,
     rounds: u32,
+    open_loop: Option<f64>,
+    duration_s: f64,
+    arrivals: ArrivalProcess,
+    tenants: Vec<(String, TenantConfig)>,
+    deadline_ms: Option<u64>,
+    seed: u64,
     output: Option<String>,
     analyze: bool,
     trace_out: Option<String>,
@@ -154,6 +193,12 @@ fn parse_args() -> Result<Args, String> {
         message_kb: 32,
         clients: 1,
         rounds: 1,
+        open_loop: None,
+        duration_s: 10.0,
+        arrivals: ArrivalProcess::Poisson,
+        tenants: Vec::new(),
+        deadline_ms: None,
+        seed: 42,
         output: None,
         analyze: false,
         trace_out: None,
@@ -278,6 +323,42 @@ fn parse_args() -> Result<Args, String> {
                         format!("--rounds must be a positive integer, got {value:?}")
                     })?;
             }
+            "--open-loop" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --open-loop rate {value:?}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--open-loop rate (queries/hour) must be positive".into());
+                }
+                args.open_loop = Some(rate);
+            }
+            "--duration" => {
+                args.duration_s = value
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| format!("--duration must be positive seconds, got {value:?}"))?;
+            }
+            "--arrivals" => {
+                args.arrivals = ArrivalProcess::parse(value).map_err(|e| e.to_string())?;
+            }
+            "--tenants" => {
+                args.tenants = parse_tenant_spec(value).map_err(|e| e.to_string())?;
+                if args.tenants.is_empty() {
+                    return Err("--tenants must name at least one tenant".into());
+                }
+            }
+            "--deadline-ms" => {
+                args.deadline_ms =
+                    Some(value.parse().ok().filter(|&ms| ms >= 1).ok_or_else(|| {
+                        format!("--deadline-ms must be a positive integer, got {value:?}")
+                    })?);
+            }
+            "--seed" => {
+                args.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed {value:?}"))?;
+            }
             "--output" => {
                 args.output = Some(value.clone());
             }
@@ -321,6 +402,7 @@ fn cluster_config(args: &Args) -> Result<ClusterConfig, String> {
         numa_cost_ns: 0.0,
         message_capacity: args.message_kb * 1024,
         max_concurrent: args.clients,
+        tenants: args.tenants.clone(),
         // --analyze and --trace-out need profiles even under --profile off.
         profiling: args.profile || args.analyze || args.trace_out.is_some(),
         ..ClusterConfig::paper(args.nodes)
@@ -476,6 +558,9 @@ fn json_f64(v: f64) -> String {
 struct Observation {
     query: u32,
     ms: f64,
+    /// Time the submission sat in the dispatcher queue before starting
+    /// (zero on the remote backend, which has no server-side queue).
+    queue_wait_ms: f64,
     rows: usize,
     bytes_shuffled: u64,
 }
@@ -712,6 +797,7 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
                                 Ok(result) => obs.push(Observation {
                                     query: *n,
                                     ms: started.elapsed().as_secs_f64() * 1e3,
+                                    queue_wait_ms: result.queue_wait.as_secs_f64() * 1e3,
                                     rows: result.row_count(),
                                     bytes_shuffled: result.bytes_shuffled,
                                 }),
@@ -759,18 +845,25 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
         let mut ms: Vec<f64> = of_q.iter().map(|o| o.ms).collect();
         ms.sort_by(f64::total_cmp);
         let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        let mut waits: Vec<f64> = of_q.iter().map(|o| o.queue_wait_ms).collect();
+        waits.sort_by(f64::total_cmp);
         let bytes = of_q.iter().map(|o| o.bytes_shuffled).max().unwrap_or(0);
         eprintln!(
-            "Q{n:<2} {mean:>10.2} ms mean  {:>10.2} ms p99  {rows:>8} rows  x{}",
+            "Q{n:<2} {mean:>10.2} ms mean  {:>10.2} ms p99  {:>8.2} ms queue p50  \
+             {rows:>8} rows  x{}",
             percentile(&ms, 0.99),
+            percentile(&waits, 0.5),
             ms.len()
         );
         lines.push(format!(
             "    {{\"query\": {n}, \"rows\": {rows}, \"ms\": {}, \"ms_p50\": {}, \
-             \"ms_p99\": {}, \"executions\": {}, \"bytes_shuffled\": {bytes}}}",
+             \"ms_p99\": {}, \"queue_wait_ms_p50\": {}, \"queue_wait_ms_p99\": {}, \
+             \"executions\": {}, \"bytes_shuffled\": {bytes}}}",
             json_f64(mean),
             json_f64(percentile(&ms, 0.5)),
             json_f64(percentile(&ms, 0.99)),
+            json_f64(percentile(&waits, 0.5)),
+            json_f64(percentile(&waits, 0.99)),
             ms.len()
         ));
     }
@@ -781,6 +874,8 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
 
     let mut latencies: Vec<f64> = all.iter().map(|o| o.ms).collect();
     latencies.sort_by(f64::total_cmp);
+    let mut queue_waits: Vec<f64> = all.iter().map(|o| o.queue_wait_ms).collect();
+    queue_waits.sort_by(f64::total_cmp);
     let queries_per_hour = if wall_ms > 0.0 {
         all.len() as f64 * 3_600_000.0 / wall_ms
     } else {
@@ -820,6 +915,23 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
         "      \"max\": {}",
         json_f64(latencies.last().copied().unwrap_or(f64::NAN))
     );
+    let _ = writeln!(report, "    }},");
+    let _ = writeln!(report, "    \"queue_wait_ms\": {{");
+    let _ = writeln!(
+        report,
+        "      \"p50\": {},",
+        json_f64(percentile(&queue_waits, 0.5))
+    );
+    let _ = writeln!(
+        report,
+        "      \"p99\": {},",
+        json_f64(percentile(&queue_waits, 0.99))
+    );
+    let _ = writeln!(
+        report,
+        "      \"max\": {}",
+        json_f64(queue_waits.last().copied().unwrap_or(f64::NAN))
+    );
     let _ = writeln!(report, "    }}");
     let _ = writeln!(report, "  }},");
     let _ = writeln!(report, "  \"queries\": [");
@@ -835,6 +947,365 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
     emit_report(&report, &args.output)?;
     if !failures.is_empty() {
         return Err(format!("{} executions failed", failures.len()));
+    }
+    Ok(())
+}
+
+/// What became of one open-loop arrival.
+enum ArrivalOutcome {
+    /// Finished inside the window; latency is arrival-to-completion.
+    Completed {
+        latency_ms: f64,
+        queue_wait_ms: f64,
+        rows: usize,
+    },
+    /// Cancelled at the window end or by its deadline.
+    Cancelled,
+    /// Rejected at admission (tenant over `max_queued`).
+    Rejected,
+    /// A genuine execution error.
+    Failed(String),
+}
+
+struct ArrivalRecord {
+    /// Index into the tenant list.
+    tenant: usize,
+    query: u32,
+    outcome: ArrivalOutcome,
+}
+
+/// Open-loop driver over the in-process cluster: submissions go through
+/// the tenant-aware dispatcher (weighted-fair queues, admission caps),
+/// so queue-wait numbers come from the engine itself.
+fn open_loop_local(
+    args: &Args,
+    cluster: &Cluster,
+    plans: &[(u32, Query)],
+    tenants: &[(String, TenantConfig)],
+    offsets: &[Duration],
+    window: Duration,
+) -> Vec<ArrivalRecord> {
+    let start = Instant::now();
+    let mut pending = Vec::new();
+    let mut records = Vec::new();
+    for (i, &off) in offsets.iter().enumerate() {
+        let due = start + off;
+        if let Some(gap) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(gap);
+        }
+        let t = i % tenants.len();
+        let (qn, query) = &plans[i % plans.len()];
+        let mut opts = SubmitOptions::tenant(&tenants[t].0);
+        if let Some(ms) = args.deadline_ms {
+            opts = opts.with_deadline(Duration::from_millis(ms));
+        }
+        match cluster.submit_with(query, &opts) {
+            Ok(handle) => pending.push((t, *qn, handle)),
+            Err(EngineError::Admission(_)) => records.push(ArrivalRecord {
+                tenant: t,
+                query: *qn,
+                outcome: ArrivalOutcome::Rejected,
+            }),
+            Err(e) => records.push(ArrivalRecord {
+                tenant: t,
+                query: *qn,
+                outcome: ArrivalOutcome::Failed(e.to_string()),
+            }),
+        }
+    }
+    // Hold the window open to its full length, then cancel whatever is
+    // still queued or running — open loop measures the window, not the
+    // drain.
+    let window_end = start + window;
+    if let Some(rest) = window_end.checked_duration_since(Instant::now()) {
+        std::thread::sleep(rest);
+    }
+    // Cancel everything first (a no-op CAS on already-finished queries),
+    // *then* collect: waiting on handles one at a time would let the
+    // dispatcher keep completing the not-yet-cancelled tail after the
+    // window, skewing the per-tenant completion counts.
+    for (_, _, handle) in &pending {
+        handle.cancel();
+    }
+    for (t, qn, handle) in pending {
+        let outcome = match handle.wait() {
+            Ok(r) => ArrivalOutcome::Completed {
+                latency_ms: r.elapsed.as_secs_f64() * 1e3,
+                queue_wait_ms: r.queue_wait.as_secs_f64() * 1e3,
+                rows: r.row_count(),
+            },
+            Err(EngineError::Cancelled) | Err(EngineError::DeadlineExceeded) => {
+                ArrivalOutcome::Cancelled
+            }
+            Err(e) => ArrivalOutcome::Failed(e.to_string()),
+        };
+        records.push(ArrivalRecord {
+            tenant: t,
+            query: qn,
+            outcome,
+        });
+    }
+    records
+}
+
+/// Open-loop driver over the out-of-process cluster: the coordinator has
+/// no server-side queue, so `--clients` worker threads emulate the
+/// execution slots and queue wait is measured as pickup minus arrival.
+fn open_loop_remote(
+    args: &Args,
+    pc: &ProcessCluster,
+    plans: &[(u32, Query)],
+    tenants: &[(String, TenantConfig)],
+    offsets: &[Duration],
+    window: Duration,
+) -> Vec<ArrivalRecord> {
+    let start = Instant::now();
+    let window_end = start + window;
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<ArrivalRecord>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= offsets.len() {
+                    break;
+                }
+                let due = start + offsets[i];
+                if let Some(gap) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(gap);
+                }
+                let t = i % tenants.len();
+                let (qn, query) = &plans[i % plans.len()];
+                let picked_up = Instant::now();
+                let outcome = if picked_up >= window_end {
+                    // Still waiting for a slot when the window closed.
+                    ArrivalOutcome::Cancelled
+                } else {
+                    let mut opts = SubmitOptions::tenant(&tenants[t].0);
+                    if let Some(ms) = args.deadline_ms {
+                        opts = opts.with_deadline(Duration::from_millis(ms));
+                    }
+                    match pc.run_with(query, &opts) {
+                        Ok(r) => ArrivalOutcome::Completed {
+                            latency_ms: due.elapsed().as_secs_f64() * 1e3,
+                            queue_wait_ms: picked_up.duration_since(due).as_secs_f64() * 1e3,
+                            rows: r.row_count(),
+                        },
+                        Err(EngineError::Cancelled) | Err(EngineError::DeadlineExceeded) => {
+                            ArrivalOutcome::Cancelled
+                        }
+                        Err(e) => ArrivalOutcome::Failed(e.to_string()),
+                    }
+                };
+                records.lock().expect("records lock").push(ArrivalRecord {
+                    tenant: t,
+                    query: *qn,
+                    outcome,
+                });
+            });
+        }
+    });
+    records.into_inner().expect("records lock")
+}
+
+/// Render `{p50, p90, p99, max}` percentiles of an unsorted millisecond
+/// sample as a JSON object.
+fn json_percentiles(samples: &mut [f64]) -> String {
+    samples.sort_by(f64::total_cmp);
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        json_f64(percentile(samples, 0.5)),
+        json_f64(percentile(samples, 0.9)),
+        json_f64(percentile(samples, 0.99)),
+        json_f64(samples.last().copied().unwrap_or(f64::NAN))
+    )
+}
+
+/// Open-loop serving benchmark: arrivals at a fixed offered load
+/// (independent of completions), attributed round-robin to the configured
+/// tenants, reported as latency / queue-wait distributions overall and
+/// per tenant ("hsqp-openloop-v1").
+fn run_open_loop(args: &Args, queries: &[u32], rate: f64) -> Result<(), String> {
+    let tenants: Vec<(String, TenantConfig)> = if args.tenants.is_empty() {
+        vec![("default".to_string(), TenantConfig::default())]
+    } else {
+        args.tenants.clone()
+    };
+    let window = Duration::from_secs_f64(args.duration_s);
+    let offsets = args.arrivals.offsets(rate, window, args.seed);
+    let arrivals_name = match args.arrivals {
+        ArrivalProcess::Poisson => "poisson",
+        ArrivalProcess::Uniform => "uniform",
+    };
+
+    let bench = start_loaded_backend(
+        args,
+        &format!(
+            ", open-loop {rate} q/h x {}s, {} slots",
+            args.duration_s, args.clients
+        ),
+    )?;
+    let backend = &bench.backend;
+    let planner = backend.planner(args.sf);
+    let plans = plan_queries(args, &planner, queries)?;
+
+    eprintln!(
+        "open-loop: {} {arrivals_name} arrivals over {}s (seed {}), tenants [{}]",
+        offsets.len(),
+        args.duration_s,
+        args.seed,
+        tenants
+            .iter()
+            .map(|(n, c)| format!("{n}:{}", c.weight))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    let records = match backend {
+        Backend::Local(cluster) => {
+            open_loop_local(args, cluster, &plans, &tenants, &offsets, window)
+        }
+        Backend::Remote(pc) => open_loop_remote(args, pc, &plans, &tenants, &offsets, window),
+    };
+    if args.metrics {
+        eprint!("{}", backend.metrics_render());
+    }
+    bench.backend.shutdown();
+
+    // Aggregate overall, per tenant, and per query. Row counts of the
+    // same query must agree across every completion — concurrent serving
+    // must not change results.
+    let mut failures: Vec<String> = Vec::new();
+    let mut latencies = Vec::new();
+    let mut waits = Vec::new();
+    let mut counts = [0usize; 4]; // completed, cancelled, rejected, failed
+    let mut per_tenant: Vec<(usize, Vec<f64>, Vec<f64>, [usize; 4])> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (i, Vec::new(), Vec::new(), [0usize; 4]))
+        .collect();
+    let mut rows_by_query: HashMap<u32, (usize, usize)> = HashMap::new(); // rows, executions
+    for rec in &records {
+        let slot = &mut per_tenant[rec.tenant];
+        match &rec.outcome {
+            ArrivalOutcome::Completed {
+                latency_ms,
+                queue_wait_ms,
+                rows,
+            } => {
+                counts[0] += 1;
+                slot.3[0] += 1;
+                latencies.push(*latency_ms);
+                waits.push(*queue_wait_ms);
+                slot.1.push(*latency_ms);
+                slot.2.push(*queue_wait_ms);
+                let entry = rows_by_query.entry(rec.query).or_insert((*rows, 0));
+                if entry.0 != *rows {
+                    failures.push(format!(
+                        "Q{}: row counts diverged across executions ({} vs {})",
+                        rec.query, entry.0, rows
+                    ));
+                }
+                entry.1 += 1;
+            }
+            ArrivalOutcome::Cancelled => {
+                counts[1] += 1;
+                slot.3[1] += 1;
+            }
+            ArrivalOutcome::Rejected => {
+                counts[2] += 1;
+                slot.3[2] += 1;
+            }
+            ArrivalOutcome::Failed(msg) => {
+                counts[3] += 1;
+                slot.3[3] += 1;
+                failures.push(format!("Q{}: {msg}", rec.query));
+            }
+        }
+    }
+
+    let mut report = report_header(args, bench.gen_ms, bench.load_ms);
+    report.insert_str(2, "  \"schema\": \"hsqp-openloop-v1\",\n");
+    let _ = writeln!(report, "  \"offered_rate_per_hour\": {rate},");
+    let _ = writeln!(report, "  \"duration_s\": {},", args.duration_s);
+    let _ = writeln!(report, "  \"arrivals\": \"{arrivals_name}\",");
+    let _ = writeln!(report, "  \"seed\": {},", args.seed);
+    let _ = writeln!(report, "  \"clients\": {},", args.clients);
+    let _ = writeln!(
+        report,
+        "  \"deadline_ms\": {},",
+        args.deadline_ms
+            .map_or("null".to_string(), |ms| ms.to_string())
+    );
+    let _ = writeln!(report, "  \"submitted\": {},", records.len());
+    let _ = writeln!(report, "  \"completed\": {},", counts[0]);
+    let _ = writeln!(report, "  \"cancelled\": {},", counts[1]);
+    let _ = writeln!(report, "  \"rejected\": {},", counts[2]);
+    let _ = writeln!(report, "  \"failed\": {},", counts[3]);
+    let _ = writeln!(
+        report,
+        "  \"latency_ms\": {},",
+        json_percentiles(&mut latencies)
+    );
+    let _ = writeln!(
+        report,
+        "  \"queue_wait_ms\": {},",
+        json_percentiles(&mut waits)
+    );
+    let _ = writeln!(report, "  \"tenants\": [");
+    let tenant_lines: Vec<String> = per_tenant
+        .iter_mut()
+        .map(|(i, lat, wait, c)| {
+            let (name, cfg) = &tenants[*i];
+            eprintln!(
+                "tenant {name:<10} weight {:<3} {:>5} completed  {:>5} cancelled  \
+                 {:>5} rejected  {:>3} failed",
+                cfg.weight, c[0], c[1], c[2], c[3]
+            );
+            format!(
+                "    {{\"tenant\": \"{}\", \"weight\": {}, \"completed\": {}, \
+                 \"cancelled\": {}, \"rejected\": {}, \"failed\": {}, \
+                 \"latency_ms\": {}, \"queue_wait_ms\": {}}}",
+                json_escape(name),
+                cfg.weight,
+                c[0],
+                c[1],
+                c[2],
+                c[3],
+                json_percentiles(lat),
+                json_percentiles(wait)
+            )
+        })
+        .collect();
+    report.push_str(&tenant_lines.join(",\n"));
+    let _ = writeln!(report, "\n  ],");
+    let _ = writeln!(report, "  \"failures\": {},", failures.len());
+    let _ = writeln!(report, "  \"queries\": [");
+    let mut query_lines: Vec<String> = Vec::new();
+    for &n in queries {
+        if let Some((rows, execs)) = rows_by_query.get(&n) {
+            query_lines.push(format!(
+                "    {{\"query\": {n}, \"rows\": {rows}, \"executions\": {execs}}}"
+            ));
+        }
+    }
+    report.push_str(&query_lines.join(",\n"));
+    report.push_str("\n  ]\n}\n");
+
+    for f in &failures {
+        eprintln!("FAILED: {f}");
+    }
+    eprintln!(
+        "{} arrivals: {} completed, {} cancelled at window end, {} rejected, {} failed",
+        records.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    );
+    emit_report(&report, &args.output)?;
+    if !failures.is_empty() {
+        return Err(format!("{} open-loop failures", failures.len()));
     }
     Ok(())
 }
@@ -878,6 +1349,20 @@ fn run() -> Result<(), String> {
     // buffered block (serial mode enforces the latter below).
     if args.explain && !args.analyze {
         return explain(&args, &queries);
+    }
+
+    if let Some(rate) = args.open_loop {
+        if args.analyze || args.trace_out.is_some() || args.bench_out.is_some() {
+            return Err(
+                "--analyze, --trace-out, and --bench-out need the serial mode \
+                 (drop --open-loop)"
+                    .into(),
+            );
+        }
+        if args.rounds > 1 {
+            return Err("--rounds applies to the closed-loop mode, not --open-loop".into());
+        }
+        return run_open_loop(&args, &queries, rate);
     }
 
     if args.clients > 1 || args.rounds > 1 {
