@@ -40,9 +40,11 @@ use crate::expr::Expr;
 use crate::local::MorselDriver;
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use crate::plan::Plan;
+use crate::planner::QueryPlanner;
 use crate::profile::{plan_node_count, QueryProfile, StageRecorder};
 use crate::queries::{Query, QueryStage, StageRole};
 use crate::serve::{CancelToken, SubmitOptions, TenantConfig, TenantId, TenantMetrics, WdrrQueue};
+use crate::stats::StatsCatalog;
 use crate::vm::{compile_stage, CompiledStage};
 
 /// Which network stack the multiplexers use (the three lines of Figure 3).
@@ -411,6 +413,10 @@ struct Submission {
     /// Compiled expression programs per stage (compile-once at submit
     /// time; `None` = no program compiled, run the tree walker).
     programs: Vec<Option<CompiledStage>>,
+    /// Feedback-driven incremental planner: when set, `stages`/`programs`
+    /// are empty and each stage is planned (and compiled) just in time,
+    /// with observed cardinalities fed back between stages.
+    adaptive: Option<Mutex<QueryPlanner>>,
     submitted: Instant,
     shared: Arc<QueryShared>,
 }
@@ -440,6 +446,9 @@ struct ClusterInner {
     /// Per-tenant admission queues drained weighted-deficit round-robin
     /// by the dispatcher pool (replaces the old single FIFO channel).
     submit_queue: WdrrQueue<Submission>,
+    /// Column statistics sampled while loading data, consumed by
+    /// [`Planner::for_cluster`](crate::planner::Planner::for_cluster).
+    stats: Mutex<Option<Arc<StatsCatalog>>>,
 }
 
 /// Pre-resolved dispatcher instruments, so admission and completion paths
@@ -598,6 +607,7 @@ impl Cluster {
             metrics,
             dm,
             submit_queue,
+            stats: Mutex::new(None),
         });
 
         // Admission/dispatch pool: up to `max_concurrent` queries run
@@ -667,24 +677,32 @@ impl Cluster {
     }
 
     /// Distribute an already-generated TPC-H database.
+    ///
+    /// Each relation is sampled into the cluster's statistics catalog
+    /// before it is split, so planners built with
+    /// [`Planner::for_cluster`](crate::planner::Planner::for_cluster) see
+    /// whole-table NDV/min-max/null-fraction statistics.
     pub fn load_tpch_db(&self, db: TpchDb) -> Result<(), EngineError> {
         self.ensure_up()?;
         let n = self.inner.cfg.nodes as usize;
+        let mut catalog = match &*self.inner.stats.lock() {
+            Some(existing) => (**existing).clone(),
+            None => StatsCatalog::new(),
+        };
         for (kind, table) in db.into_tables() {
+            catalog.sample_table(kind, &table);
             let parts: Vec<Table> = match self.inner.cfg.placement {
                 Placement::Chunked => chunk_split(&table, n),
                 // Plans are placement-oblivious: a broadcast of a replicated
                 // relation would duplicate rows, so replication is rejected
                 // for query processing and treated as partitioned here.
-                Placement::Partitioned | Placement::Replicated => {
-                    let _ = kind;
-                    hash_partition(&table, 0, n)
-                }
+                Placement::Partitioned | Placement::Replicated => hash_partition(&table, 0, n),
             };
             for (node, part) in self.inner.nodes.iter().zip(parts) {
                 node.tables.write().insert(kind, Arc::new(part));
             }
         }
+        *self.inner.stats.lock() = Some(Arc::new(catalog));
         Ok(())
     }
 
@@ -702,6 +720,12 @@ impl Cluster {
             node.tables.write().insert(kind, Arc::new(part));
         }
         Ok(())
+    }
+
+    /// The column statistics sampled at load time, if data was loaded via
+    /// [`load_tpch`](Self::load_tpch) / [`load_tpch_db`](Self::load_tpch_db).
+    pub fn stats_catalog(&self) -> Option<Arc<StatsCatalog>> {
+        self.inner.stats.lock().clone()
     }
 
     /// Total rows of `table` across all nodes, if it is loaded (the
@@ -778,23 +802,67 @@ impl Cluster {
             ));
         }
         let submitted = Instant::now();
+        let shared = self.new_query_shared(query.number, submitted, opts);
+        let submission = Submission {
+            stages: query.stages.clone(),
+            programs: self.compile_programs(query),
+            adaptive: None,
+            submitted,
+            shared: Arc::clone(&shared),
+        };
+        self.enqueue(submission, opts)
+    }
+
+    /// Submit a query for feedback-driven adaptive execution: each stage
+    /// is planned just before it runs, against the cardinalities observed
+    /// from the stages that already finished (see
+    /// [`Planner::begin_query`](crate::planner::Planner::begin_query)).
+    /// `number` tags the query's profile for reporting (0 for ad-hoc).
+    pub fn submit_adaptive(
+        &self,
+        planner: QueryPlanner,
+        number: u32,
+        opts: &SubmitOptions,
+    ) -> Result<QueryHandle, EngineError> {
+        self.ensure_up()?;
+        let submitted = Instant::now();
+        let shared = self.new_query_shared(number, submitted, opts);
+        let submission = Submission {
+            stages: Vec::new(),
+            programs: Vec::new(),
+            adaptive: Some(Mutex::new(planner)),
+            submitted,
+            shared: Arc::clone(&shared),
+        };
+        self.enqueue(submission, opts)
+    }
+
+    fn new_query_shared(
+        &self,
+        number: u32,
+        submitted: Instant,
+        opts: &SubmitOptions,
+    ) -> Arc<QueryShared> {
         let id = QueryId(self.inner.next_query.fetch_add(1, Ordering::Relaxed));
-        let shared = Arc::new(QueryShared {
+        Arc::new(QueryShared {
             id,
             tenant: opts.tenant.clone(),
             cancel: CancelToken::with_deadline(opts.deadline.map(|d| submitted + d)),
             stats: self.inner.query_stats.register(id),
             state: Mutex::new(HandleState::Pending),
             done: Condvar::new(),
-            profile: Mutex::new(QueryProfile::new(id, query.number)),
+            profile: Mutex::new(QueryProfile::new(id, number)),
             profiling: self.inner.cfg.profiling,
-        });
-        let submission = Submission {
-            stages: query.stages.clone(),
-            programs: self.compile_programs(query),
-            submitted,
-            shared: Arc::clone(&shared),
-        };
+        })
+    }
+
+    fn enqueue(
+        &self,
+        submission: Submission,
+        opts: &SubmitOptions,
+    ) -> Result<QueryHandle, EngineError> {
+        let id = submission.shared.id;
+        let shared = Arc::clone(&submission.shared);
         self.inner.dm.queue_depth.inc();
         if let Err(e) = self.inner.submit_queue.push(&opts.tenant, submission) {
             // The submission never reached a dispatcher: nothing will
@@ -1008,6 +1076,34 @@ impl ClusterInner {
         self.metrics.counter(&format!("tenant.{tenant}.{field}"))
     }
 
+    /// Compile one just-planned adaptive stage, mirroring
+    /// [`Cluster::compile_programs`] a stage at a time: `temps`
+    /// accumulates materialized schemas so later stages compile against
+    /// earlier temps.
+    fn compile_adaptive_stage(
+        &self,
+        stage: &QueryStage,
+        temps: &mut HashMap<String, Schema>,
+    ) -> Option<CompiledStage> {
+        if self.cfg.expr_engine == ExprEngine::Ast {
+            return None;
+        }
+        let base = |t: TpchTable| {
+            self.nodes[0]
+                .tables
+                .read()
+                .get(&t)
+                .map(|tbl| tbl.schema().clone())
+        };
+        let (compiled, schema) = compile_stage(&stage.plan, &base, temps);
+        if let StageRole::Materialize(name) = &stage.role {
+            if let Some(s) = schema {
+                temps.insert(name.clone(), s);
+            }
+        }
+        (!compiled.is_empty()).then_some(compiled)
+    }
+
     fn run_stages(
         &self,
         sub: &Submission,
@@ -1017,7 +1113,31 @@ impl ClusterInner {
         let cancel = &sub.shared.cancel;
         let mut params: Vec<Value> = Vec::new();
         let mut final_table: Option<Table> = None;
-        for (stage_idx, stage) in sub.stages.iter().enumerate() {
+        // Adaptive submissions plan (and compile) each stage just in time;
+        // the temp schemas accumulate so later stages compile against the
+        // materializations of earlier ones.
+        let mut adaptive_temps: HashMap<String, Schema> = HashMap::new();
+        let mut stage_idx = 0usize;
+        loop {
+            let jit: Option<(QueryStage, Option<CompiledStage>)> = match &sub.adaptive {
+                Some(qp) => match qp.lock().next_stage()? {
+                    None => break,
+                    Some(stage) => {
+                        let prog = self.compile_adaptive_stage(&stage, &mut adaptive_temps);
+                        Some((stage, prog))
+                    }
+                },
+                None => {
+                    if stage_idx >= sub.stages.len() {
+                        break;
+                    }
+                    None
+                }
+            };
+            let (stage, jit_prog) = match &jit {
+                Some((stage, prog)) => (stage, prog.as_ref()),
+                None => (&sub.stages[stage_idx], None),
+            };
             // Cooperative cancellation point: between stages (and before
             // the first), where no exchange is in flight. The same token
             // is checked per morsel inside the node threads.
@@ -1062,7 +1182,8 @@ impl ClusterInner {
             let recorder = self.cfg.profiling.then(|| {
                 StageRecorder::new(sub.submitted, self.cfg.nodes, plan_node_count(&stage.plan))
             });
-            let programs = sub.programs.get(stage_idx).and_then(Option::as_ref);
+            let programs =
+                jit_prog.or_else(|| sub.programs.get(stage_idx).and_then(Option::as_ref));
             let results = self.execute_spmd(
                 query,
                 &stage.plan,
@@ -1079,9 +1200,13 @@ impl ClusterInner {
                     programs,
                     stage.role.label(),
                     stage.estimated_rows,
+                    stage.feedback_rows,
                 );
                 sub.shared.profile.lock().stages.push(profile);
             }
+            // Observed per-node result cardinalities, fed back to the
+            // adaptive planner after the role handling consumes the batches.
+            let node_rows: Vec<u64> = results.iter().map(|b| b.rows() as u64).collect();
             match &stage.role {
                 StageRole::Result => {
                     final_table = Some(
@@ -1130,6 +1255,10 @@ impl ClusterInner {
                     }
                 }
             }
+            if let Some(qp) = &sub.adaptive {
+                qp.lock().observe_rows(&node_rows);
+            }
+            stage_idx += 1;
         }
 
         Ok(QueryResult {

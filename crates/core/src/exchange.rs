@@ -561,7 +561,9 @@ fn mux_loop(
     loop {
         // Route incoming completions to the receive queues, alternating
         // NUMA sockets ("receives messages for every NUMA region in turn").
+        let mut received = false;
         while let Some(ev) = endpoint.try_recv() {
+            received = true;
             handle_event(cfg, hub, ev, &mut recv_rr);
         }
 
@@ -628,6 +630,14 @@ fn mux_loop(
                 s.sync();
             }
             phase = phase % schedule.phases() + 1;
+            // Fully idle round (nothing shipped, received, or queued):
+            // back off like the uncoordinated path does, so an idle
+            // fabric's phase barrier does not busy-spin compute threads
+            // off small hosts. Under load at least one of these is true
+            // on every node, so the hot path never sleeps.
+            if sent == 0 && !received && queues.iter().all(|q| q.is_empty()) {
+                std::thread::sleep(Duration::from_micros(20));
+            }
         } else {
             // Uncoordinated: ship whatever is queued, all targets at once.
             let mut any = false;

@@ -50,6 +50,7 @@
 //! granularity (explicit [`QueryHandle::cancel`] or a per-query deadline).
 
 pub mod cluster;
+pub mod cost;
 pub mod error;
 pub mod exchange;
 pub mod exec;
@@ -66,23 +67,26 @@ pub mod remote;
 pub mod serial;
 pub mod serve;
 pub mod session;
+pub mod stats;
 pub mod vm;
 pub mod wire;
 
 pub use cluster::{
     Cluster, ClusterConfig, EngineKind, ExprEngine, QueryHandle, QueryResult, Transport,
 };
+pub use cost::CostModel;
 pub use error::EngineError;
 pub use expr::Expr;
 pub use hsqp_net::QueryId;
 pub use logical::{JoinStrategy, LogicalPlan};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use plan::{AggFunc, AggSpec, ExchangeKind, JoinKind, Plan, SortKey};
-pub use planner::{Planner, PlannerConfig, TableStats};
+pub use planner::{Planner, PlannerConfig, QueryPlanner, TableStats};
 pub use profile::{chrome_trace, QueryProfile};
 pub use remote::{NodeServer, ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
 pub use serve::{
     ArrivalProcess, CancelToken, StopReason, SubmitOptions, TenantConfig, TenantId, TenantMetrics,
 };
 pub use session::{Session, SessionBuilder};
+pub use stats::{ColumnStats, FeedbackCache, StatsCatalog, StatsMode, TableStatistics};
 pub use vm::{CompiledStage, ExprProgram};

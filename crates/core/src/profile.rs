@@ -202,6 +202,7 @@ impl StageRecorder {
         programs: Option<&CompiledStage>,
         role: String,
         estimated_rows: Option<f64>,
+        feedback_rows: Option<f64>,
     ) -> StageProfile {
         let labels = plan_labels_with(plan, programs);
         debug_assert_eq!(labels.len(), self.nodes.first().map_or(0, |n| n.ops.len()));
@@ -264,6 +265,7 @@ impl StageRecorder {
         StageProfile {
             role,
             estimated_rows,
+            feedback_rows,
             start,
             wall: end.saturating_sub(start),
             ops,
@@ -373,6 +375,10 @@ pub struct StageProfile {
     /// The planner's cardinality estimate for the stage result (None for
     /// hand-written plans, which carry no estimates).
     pub estimated_rows: Option<f64>,
+    /// The feedback-corrected cardinality that overrode the static
+    /// estimate, when the stage was planned in feedback mode against a
+    /// prior observation of the same plan.
+    pub feedback_rows: Option<f64>,
     /// Stage start, measured from query submission (earliest node).
     pub start: Duration,
     /// Stage wall time (first node in → last node out).
@@ -474,9 +480,10 @@ impl QueryProfile {
         let mut out = String::new();
         let total = self.stages.len();
         for (i, stage) in self.stages.iter().enumerate() {
-            let est = match stage.estimated_rows {
-                Some(e) => format!("est ~{:.0} rows, ", e),
-                None => String::new(),
+            let est = match (stage.estimated_rows, stage.feedback_rows) {
+                (Some(e), Some(fb)) => format!("est ~{e:.0} rows · fb {fb:.0} rows, "),
+                (Some(e), None) => format!("est ~{e:.0} rows, "),
+                (None, _) => String::new(),
             };
             let _ = writeln!(
                 out,
@@ -692,7 +699,7 @@ mod tests {
         rec.node(1).op_exit(0, 20, 7);
         rec.node(0).net_send(2, 1024, 2);
         rec.node(0).add_consume(2, Duration::from_micros(50), 3);
-        let sp = rec.finish(&plan, None, "result".into(), Some(42.0));
+        let sp = rec.finish(&plan, None, "result".into(), Some(42.0), None);
         assert_eq!(sp.ops.len(), 5);
         // Result stages count the coordinator's root output only; the raw
         // per-operator accessors still sum across nodes.
@@ -718,7 +725,7 @@ mod tests {
             )
             .gather();
         let rec = StageRecorder::new(Instant::now(), 1, plan_node_count(&plan));
-        let sp = rec.finish(&plan, None, "result".into(), None);
+        let sp = rec.finish(&plan, None, "result".into(), None, None);
         assert_eq!(sp.children_of(0), vec![1]);
         assert_eq!(sp.children_of(1), vec![2, 3]);
         assert!(sp.children_of(2).is_empty());
@@ -735,10 +742,10 @@ mod tests {
         let mut profile = QueryProfile::new(QueryId(7), 3);
         profile
             .stages
-            .push(rec.finish(&plan, None, "result".into(), Some(9.0)));
+            .push(rec.finish(&plan, None, "result".into(), Some(9.0), Some(4.0)));
         let text = profile.render();
         assert!(text.contains("stage 1/1: result"));
-        assert!(text.contains("est ~9 rows"));
+        assert!(text.contains("est ~9 rows · fb 4 rows"));
         assert!(text.contains("Exchange Gather"));
         let trace = chrome_trace(std::slice::from_ref(&profile));
         assert!(trace.starts_with("{\"traceEvents\":["));

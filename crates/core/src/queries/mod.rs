@@ -63,6 +63,12 @@ pub struct QueryStage {
     /// against profiled actuals in EXPLAIN output. `None` for hand-written
     /// plans, which carry no estimates.
     pub estimated_rows: Option<f64>,
+    /// The feedback-corrected cardinality that overrode the static
+    /// estimate, when the planner ran in
+    /// [`StatsMode::Feedback`](crate::stats::StatsMode) and its
+    /// [`FeedbackCache`](crate::stats::FeedbackCache) held an observation
+    /// for this stage's plan. `None` when the static estimate was used.
+    pub feedback_rows: Option<f64>,
 }
 
 /// A multi-stage physical query: parameter and materialization stages run
@@ -84,6 +90,7 @@ impl Query {
                 plan,
                 role: StageRole::Result,
                 estimated_rows: None,
+                feedback_rows: None,
             }],
             number,
         }
@@ -101,6 +108,7 @@ impl Query {
                     plan,
                     role: StageRole::Params,
                     estimated_rows: None,
+                    feedback_rows: None,
                 })
                 .collect(),
         )
@@ -216,11 +224,13 @@ mod tests {
                         plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
                         role: StageRole::Result,
                         estimated_rows: None,
+                        feedback_rows: None,
                     },
                     QueryStage {
                         plan: Plan::scan(hsqp_tpch::TpchTable::Nation),
                         role: StageRole::Params,
                         estimated_rows: None,
+                        feedback_rows: None,
                     },
                 ],
             ),

@@ -74,6 +74,7 @@ use crate::exchange::{
 };
 use crate::exec::{NodeCtx, NodeExec};
 use crate::local::MorselDriver;
+use crate::planner::QueryPlanner;
 use crate::queries::{Query, QueryStage, StageRole};
 use crate::serial::{
     self, decode_stage_tagged, decode_table, decode_values, encode_stage_tagged, encode_table,
@@ -589,10 +590,21 @@ impl Default for ProcessClusterConfig {
     }
 }
 
+/// Where one query execution gets its stages from: a pre-planned physical
+/// [`Query`], or an adaptive [`QueryPlanner`] that lowers each stage only
+/// after the previous one's observed cardinalities were fed back.
+enum StageFeed<'a> {
+    Fixed(&'a Query),
+    Adaptive(&'a mut QueryPlanner),
+}
+
 /// A control reply routed to the query (or control op) that awaits it.
 enum NodeReply {
     StageDone {
         stage: u32,
+        /// The node's local result cardinality for the stage, fed back to
+        /// the adaptive planner in [`StatsMode::Feedback`].
+        rows: u64,
         table: Option<Table>,
     },
     StageFail {
@@ -825,12 +837,33 @@ impl ProcessCluster {
         query: &Query,
         opts: &SubmitOptions,
     ) -> Result<QueryResult, EngineError> {
-        self.ensure_up()?;
         if query.stages.is_empty() {
             return Err(EngineError::Planner(
                 "query needs at least one stage".into(),
             ));
         }
+        self.run_inner(&mut StageFeed::Fixed(query), opts)
+    }
+
+    /// Run a query planned stage-at-a-time by an adaptive
+    /// [`QueryPlanner`]: after each stage completes, the per-node observed
+    /// cardinalities are fed back so later stages (in
+    /// [`StatsMode::Feedback`](crate::stats::StatsMode)) are lowered
+    /// against actuals instead of static estimates.
+    pub fn run_adaptive(
+        &self,
+        mut planner: QueryPlanner,
+        opts: &SubmitOptions,
+    ) -> Result<QueryResult, EngineError> {
+        self.run_inner(&mut StageFeed::Adaptive(&mut planner), opts)
+    }
+
+    fn run_inner(
+        &self,
+        feed: &mut StageFeed<'_>,
+        opts: &SubmitOptions,
+    ) -> Result<QueryResult, EngineError> {
+        self.ensure_up()?;
         let start = Instant::now();
         let deadline = opts.deadline.map(|d| start + d);
         let id = self.next_query.fetch_add(1, Ordering::Relaxed);
@@ -838,7 +871,7 @@ impl ProcessCluster {
         let (tx, rx) = unbounded();
         self.shared.pending.lock().insert(id, tx);
 
-        let mut outcome = self.run_stages(id, query, opts, deadline, &rx);
+        let mut outcome = self.run_stages(id, feed, opts, deadline, &rx);
         if outcome.is_err() && !self.down.load(Ordering::SeqCst) {
             // Unwedge every node first (ordered before Retire on each
             // control connection), then clean up.
@@ -875,7 +908,7 @@ impl ProcessCluster {
     fn run_stages(
         &self,
         id: u32,
-        query: &Query,
+        feed: &mut StageFeed<'_>,
         opts: &SubmitOptions,
         deadline: Option<Instant>,
         rx: &Receiver<(usize, NodeReply)>,
@@ -886,7 +919,20 @@ impl ProcessCluster {
         let n = self.conns.len();
         let mut params: Vec<Value> = Vec::new();
         let mut final_table: Option<Table> = None;
-        for (stage_idx, stage) in query.stages.iter().enumerate() {
+        let mut stage_idx = 0usize;
+        loop {
+            let stage: QueryStage = match &mut *feed {
+                StageFeed::Adaptive(qp) => match qp.next_stage()? {
+                    None => break,
+                    Some(s) => s,
+                },
+                StageFeed::Fixed(q) => {
+                    if stage_idx >= q.stages.len() {
+                        break;
+                    }
+                    q.stages[stage_idx].clone()
+                }
+            };
             // Ship the remaining budget, not the absolute deadline: the
             // node processes' clocks are not synchronized with ours.
             let remaining = match deadline {
@@ -907,7 +953,7 @@ impl ProcessCluster {
             serial::put_u32(&mut frame, params_bytes.len() as u32);
             frame.extend_from_slice(&params_bytes);
             let stage_bytes = encode_stage_tagged(
-                stage,
+                &stage,
                 Some(opts.tenant.as_str()),
                 remaining.map(|d| d.as_micros() as u64),
             );
@@ -916,6 +962,7 @@ impl ProcessCluster {
             self.broadcast(&frame)?;
 
             let mut done = vec![false; n];
+            let mut node_rows = vec![0u64; n];
             let mut node0_table: Option<Table> = None;
             while done.iter().any(|d| !d) {
                 // Wait no longer than the deadline allows; the nodes stop
@@ -938,8 +985,9 @@ impl ProcessCluster {
                     }
                 })?;
                 match reply {
-                    NodeReply::StageDone { stage, table, .. } if stage == stage_idx as u32 => {
+                    NodeReply::StageDone { stage, rows, table } if stage == stage_idx as u32 => {
                         done[node] = true;
+                        node_rows[node] = rows;
                         if node == 0 {
                             node0_table = table;
                         }
@@ -989,6 +1037,11 @@ impl ProcessCluster {
                 }
                 StageRole::Materialize(_) => {}
             }
+
+            if let StageFeed::Adaptive(qp) = &mut *feed {
+                qp.observe_rows(&node_rows);
+            }
+            stage_idx += 1;
         }
         final_table.ok_or_else(|| EngineError::Planner("query has no result stage".into()))
     }
@@ -1090,12 +1143,17 @@ fn coord_reader(node: usize, mut stream: TcpStream, shared: &CoordShared) {
                 OP_STAGE_DONE => {
                     let query = r.u32()?;
                     let stage = r.u32()?;
-                    let _rows = r.u64()?;
+                    let rows = r.u64()?;
                     let table = match r.u8()? {
                         0 => None,
                         _ => Some(decode_table(r.take_rest())?),
                     };
-                    route(shared, node, query, NodeReply::StageDone { stage, table });
+                    route(
+                        shared,
+                        node,
+                        query,
+                        NodeReply::StageDone { stage, rows, table },
+                    );
                 }
                 OP_STAGE_FAIL => {
                     let query = r.u32()?;

@@ -695,6 +695,7 @@ fn enc_stage_body(out: &mut Vec<u8>, stage: &QueryStage) {
     enc_plan(out, &stage.plan);
     enc_role(out, &stage.role);
     put_opt(out, stage.estimated_rows.as_ref(), |o, v| put_f64(o, *v));
+    put_opt(out, stage.feedback_rows.as_ref(), |o, v| put_f64(o, *v));
 }
 
 fn dec_stage_body(r: &mut Rd<'_>) -> DecodeResult<QueryStage> {
@@ -702,6 +703,7 @@ fn dec_stage_body(r: &mut Rd<'_>) -> DecodeResult<QueryStage> {
         plan: dec_plan(r)?,
         role: dec_role(r)?,
         estimated_rows: r.opt(|x| x.f64())?,
+        feedback_rows: r.opt(|x| x.f64())?,
     })
 }
 

@@ -27,6 +27,8 @@
 //! session.shutdown();
 //! ```
 
+use std::sync::Arc;
+
 use hsqp_tpch::TpchDb;
 
 use crate::cluster::{
@@ -38,6 +40,7 @@ use crate::plan::Plan;
 use crate::planner::Planner;
 use crate::queries::Query;
 use crate::serve::{SubmitOptions, TenantConfig, TenantMetrics};
+use crate::stats::{FeedbackCache, StatsMode};
 
 /// Fluent configuration for a [`Session`].
 ///
@@ -49,6 +52,7 @@ use crate::serve::{SubmitOptions, TenantConfig, TenantMetrics};
 pub struct SessionBuilder {
     cfg: ClusterConfig,
     sf: Option<f64>,
+    stats: StatsMode,
 }
 
 impl SessionBuilder {
@@ -56,6 +60,7 @@ impl SessionBuilder {
         Self {
             cfg: ClusterConfig::quick(4),
             sf: None,
+            stats: StatsMode::Static,
         }
     }
 
@@ -132,6 +137,18 @@ impl SessionBuilder {
         self
     }
 
+    /// How the planner sources cardinality estimates (default
+    /// [`StatsMode::Static`]): `Off` reverts to the legacy flat
+    /// heuristics, `Static` prices alternatives against the sampled
+    /// statistics catalog, and `Feedback` additionally re-plans later
+    /// stages of multi-stage queries against observed cardinalities and
+    /// remembers them across submissions in the session's
+    /// [`FeedbackCache`].
+    pub fn stats_mode(mut self, mode: StatsMode) -> Self {
+        self.stats = mode;
+        self
+    }
+
     /// Start the cluster (and load TPC-H if requested).
     pub fn build(self) -> Result<Session, EngineError> {
         if let Some(sf) = self.sf {
@@ -145,7 +162,11 @@ impl SessionBuilder {
         if let Some(sf) = self.sf {
             cluster.load_tpch(sf)?;
         }
-        Ok(Session { cluster })
+        Ok(Session {
+            cluster,
+            stats: self.stats,
+            feedback: Arc::new(FeedbackCache::new()),
+        })
     }
 }
 
@@ -153,6 +174,8 @@ impl SessionBuilder {
 /// [`run`](Session::run), get tables back.
 pub struct Session {
     cluster: Cluster,
+    stats: StatsMode,
+    feedback: Arc<FeedbackCache>,
 }
 
 impl Session {
@@ -177,9 +200,30 @@ impl Session {
     }
 
     /// A planner whose cardinality estimates reflect the currently loaded
-    /// relations.
+    /// relations, running in the session's [`StatsMode`] with the
+    /// session's [`FeedbackCache`] attached.
     pub fn planner(&self) -> Planner {
-        Planner::for_cluster(&self.cluster)
+        let mut p = Planner::for_cluster(&self.cluster);
+        let cfg = p.config_mut();
+        cfg.mode = self.stats;
+        if self.stats == StatsMode::Off {
+            cfg.catalog = None;
+            cfg.partitioned = false;
+        }
+        cfg.feedback = Some(Arc::clone(&self.feedback));
+        p
+    }
+
+    /// The session's stats mode.
+    pub fn stats_mode(&self) -> StatsMode {
+        self.stats
+    }
+
+    /// The session's observed-cardinality cache: keyed by plan
+    /// fingerprint, consulted by the planner in [`StatsMode::Feedback`],
+    /// fed by every adaptive execution.
+    pub fn feedback_cache(&self) -> &Arc<FeedbackCache> {
+        &self.feedback
     }
 
     /// Lower `logical` to the distributed physical plan [`run`](Self::run)
@@ -213,8 +257,7 @@ impl Session {
     /// [`cancel`](QueryHandle::cancel), and live per-query fabric
     /// statistics ([`net_stats`](QueryHandle::net_stats)).
     pub fn submit(&self, query: impl Into<LogicalQuery>) -> Result<QueryHandle, EngineError> {
-        let physical = self.planner().plan_query(&query.into())?;
-        self.cluster.submit(&physical)
+        self.submit_with(query, &SubmitOptions::default())
     }
 
     /// [`submit`](Self::submit) on behalf of a tenant: the query joins
@@ -237,7 +280,16 @@ impl Session {
         query: impl Into<LogicalQuery>,
         opts: &SubmitOptions,
     ) -> Result<QueryHandle, EngineError> {
-        let physical = self.planner().plan_query(&query.into())?;
+        let query = query.into();
+        if self.stats == StatsMode::Feedback {
+            // Stage-at-a-time planning: each stage is lowered only after
+            // the previous one ran, so its estimates see the observed
+            // cardinalities of this query's earlier stages and of prior
+            // submissions (via the session FeedbackCache).
+            let qp = self.planner().begin_query(&query)?;
+            return self.cluster.submit_adaptive(qp, 0, opts);
+        }
+        let physical = self.planner().plan_query(&query)?;
         self.cluster.submit_with(&physical, opts)
     }
 

@@ -1,0 +1,658 @@
+//! The statistics catalog and runtime cardinality feedback.
+//!
+//! The planner's placement decisions (broadcast vs repartition,
+//! pre-aggregation vs raw reshuffle, CTE materialization) are only as good
+//! as their cardinality inputs. This module supplies them at three levels
+//! of fidelity:
+//!
+//! 1. **Declared statistics** ([`StatsCatalog::declared_tpch`]) — row
+//!    counts, NDVs, and min/max ranges derived from the TPC-H spec at a
+//!    given scale factor. Used when no data is reachable (e.g. the
+//!    coordinator of an out-of-process cluster, or `--explain` without a
+//!    loaded database).
+//! 2. **Sampled statistics** ([`TableStatistics::sample`]) — computed from
+//!    the actually loaded relations at load time: exact row counts,
+//!    per-column distinct-value estimates, null fractions, and numeric
+//!    min/max, from a strided sample of up to [`SAMPLE_CAP`] rows.
+//! 3. **Runtime feedback** ([`FeedbackCache`]) — *observed* stage-result
+//!    cardinalities keyed by a fingerprint of the logical plan that
+//!    produced them. Multi-stage queries re-plan later stages against the
+//!    actuals of earlier ones, and repeated submissions of the same
+//!    (sub)query are planned against what it really produced last time.
+//!
+//! The estimator functions ([`eq_selectivity`], [`range_selectivity`],
+//! [`join_key_selectivity`], [`conjunction_selectivity`]) implement the
+//! textbook System-R assumptions: uniform values within a column,
+//! independence between predicates, and key containment across joins.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use hsqp_storage::{decimal_to_f64, Column, DataType, Table};
+use hsqp_tpch::TpchTable;
+use parking_lot::Mutex;
+
+use crate::expr::CmpOp;
+use crate::logical::LogicalPlan;
+
+/// How many rows [`TableStatistics::sample`] inspects per column at most
+/// (strided over the whole relation, so head-sorted inputs do not bias the
+/// min/max or the distinct-value count).
+pub const SAMPLE_CAP: usize = 65_536;
+
+/// How the planner sources its cardinality estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsMode {
+    /// Legacy behavior: flat selectivity heuristics and the hard-coded
+    /// broadcast/pre-aggregation rules. No catalog, no feedback.
+    Off,
+    /// Catalog-driven estimates (NDV, min/max, null fractions) feeding the
+    /// cost model; no runtime feedback.
+    Static,
+    /// [`Static`](StatsMode::Static) plus runtime feedback: multi-stage
+    /// queries re-plan later stages against observed cardinalities, and a
+    /// per-session [`FeedbackCache`] corrects repeated-query estimates.
+    Feedback,
+}
+
+impl StatsMode {
+    /// Parse a CLI-style mode name (`off`, `static`, `feedback`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "static" => Some(Self::Static),
+            "feedback" => Some(Self::Feedback),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style mode name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Static => "static",
+            Self::Feedback => "feedback",
+        }
+    }
+}
+
+impl std::fmt::Display for StatsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Estimated number of distinct non-NULL values.
+    pub ndv: f64,
+    /// Smallest numeric value (promoted: decimals as fractional units,
+    /// dates as day numbers). `None` for string columns.
+    pub min: Option<f64>,
+    /// Largest numeric value (same promotion as `min`).
+    pub max: Option<f64>,
+    /// Fraction of rows that are NULL, in `[0, 1]`.
+    pub null_fraction: f64,
+}
+
+impl ColumnStats {
+    /// Statistics for a column with `ndv` distinct values and no NULLs.
+    pub fn with_ndv(ndv: f64) -> Self {
+        Self {
+            ndv: ndv.max(1.0),
+            min: None,
+            max: None,
+            null_fraction: 0.0,
+        }
+    }
+
+    /// Add a numeric `[min, max]` range.
+    pub fn with_range(mut self, min: f64, max: f64) -> Self {
+        self.min = Some(min);
+        self.max = Some(max);
+        self
+    }
+}
+
+/// Statistics for one relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStatistics {
+    /// Exact (sampled) or declared row count.
+    pub rows: f64,
+    /// Per-column statistics, keyed by column name.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStatistics {
+    /// Compute statistics from loaded data: exact row count plus per-column
+    /// NDV / null-fraction / numeric min-max from a strided sample of up to
+    /// [`SAMPLE_CAP`] rows.
+    ///
+    /// The distinct count uses a two-regime extrapolation: a sample that is
+    /// mostly unique is assumed key-like (NDV scales with the table), while
+    /// a sample dominated by duplicates is assumed to have saturated the
+    /// value domain (NDV is the sampled distinct count).
+    pub fn sample(table: &Table) -> Self {
+        let rows = table.rows();
+        let stride = rows.div_ceil(SAMPLE_CAP).max(1);
+        let mut columns = BTreeMap::new();
+        for (field, col) in table.schema().fields().iter().zip(table.columns()) {
+            columns.insert(
+                field.name.clone(),
+                sample_column(col, field.dtype, rows, stride),
+            );
+        }
+        Self {
+            rows: rows as f64,
+            columns,
+        }
+    }
+}
+
+/// Sample one column: every `stride`-th row up to `rows`.
+fn sample_column(col: &Column, dtype: DataType, rows: usize, stride: usize) -> ColumnStats {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut nulls = 0usize;
+    let mut sampled = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut idx = 0usize;
+    while idx < rows {
+        sampled += 1;
+        if !col.is_valid(idx) {
+            nulls += 1;
+        } else {
+            match col {
+                Column::I64(v, _) => {
+                    seen.insert(fnv1a(&v[idx].to_le_bytes()));
+                    let promoted = if dtype == DataType::Decimal {
+                        decimal_to_f64(v[idx])
+                    } else {
+                        v[idx] as f64
+                    };
+                    min = min.min(promoted);
+                    max = max.max(promoted);
+                }
+                Column::F64(v, _) => {
+                    seen.insert(fnv1a(&v[idx].to_bits().to_le_bytes()));
+                    min = min.min(v[idx]);
+                    max = max.max(v[idx]);
+                }
+                Column::Str(v, _) => {
+                    seen.insert(fnv1a(v.get(idx).as_bytes()));
+                }
+            }
+        }
+        idx += stride;
+    }
+    let d = seen.len() as f64;
+    let non_null = (sampled - nulls).max(1) as f64;
+    let ndv = if sampled >= rows {
+        d // full scan: exact
+    } else if d * 2.0 >= non_null {
+        // Mostly unique in the sample: key-like, scale with the table.
+        (d * rows as f64 / sampled as f64).min(rows as f64)
+    } else {
+        // Duplicates dominate: the sample has (mostly) seen the domain.
+        d
+    };
+    let numeric = min.is_finite() && max.is_finite();
+    ColumnStats {
+        ndv: ndv.max(1.0),
+        min: numeric.then_some(min),
+        max: numeric.then_some(max),
+        null_fraction: if sampled == 0 {
+            0.0
+        } else {
+            nulls as f64 / sampled as f64
+        },
+    }
+}
+
+/// The statistics catalog: per-table row counts and column statistics.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    tables: BTreeMap<String, TableStatistics>,
+}
+
+impl StatsCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the statistics of one relation.
+    pub fn insert(&mut self, name: impl Into<String>, stats: TableStatistics) {
+        self.tables.insert(name.into(), stats);
+    }
+
+    /// Sample a loaded TPC-H relation into the catalog.
+    pub fn sample_table(&mut self, table: TpchTable, data: &Table) {
+        self.insert(table.name(), TableStatistics::sample(data));
+    }
+
+    /// Statistics of `table`, if registered.
+    pub fn table(&self, name: &str) -> Option<&TableStatistics> {
+        self.tables.get(name)
+    }
+
+    /// Statistics of one column of `table`.
+    pub fn column(&self, table: &str, column: &str) -> Option<&ColumnStats> {
+        self.tables.get(table)?.columns.get(column)
+    }
+
+    /// Find a column's statistics without knowing its table. TPC-H column
+    /// names carry their table prefix (`l_`, `o_`, …) and are globally
+    /// unique, so this resolves column references that already passed
+    /// through joins and projections — renamed columns simply miss and the
+    /// caller falls back to its flat heuristic.
+    pub fn column_anywhere(&self, column: &str) -> Option<&ColumnStats> {
+        self.tables.values().find_map(|t| t.columns.get(column))
+    }
+
+    /// Declared statistics for a TPC-H database at scale factor `sf`,
+    /// derived from the spec: exact row counts, key NDVs, value-domain
+    /// sizes of the enumerated attributes, and date/money ranges. Used
+    /// where no data can be sampled (remote coordinators, `--explain`).
+    pub fn declared_tpch(sf: f64) -> Self {
+        use hsqp_storage::date_from_ymd;
+        let suppliers = (10_000.0 * sf).max(4.0);
+        let customers = (150_000.0 * sf).max(10.0);
+        let parts = (200_000.0 * sf).max(20.0);
+        let orders = customers * 10.0;
+        let lineitem = orders * 4.0;
+        let date_lo = date_from_ymd(1992, 1, 1) as f64;
+        let date_hi = date_from_ymd(1998, 12, 31) as f64;
+
+        let mut c = Self::new();
+        let mut add = |name: &str, rows: f64, cols: Vec<(&str, ColumnStats)>| {
+            let mut t = TableStatistics {
+                rows,
+                columns: BTreeMap::new(),
+            };
+            for (col, stats) in cols {
+                t.columns.insert(col.to_string(), stats);
+            }
+            c.tables.insert(name.to_string(), t);
+        };
+
+        let key = |n: f64| ColumnStats::with_ndv(n).with_range(0.0, n.max(1.0));
+        add(
+            "region",
+            5.0,
+            vec![
+                ("r_regionkey", key(5.0)),
+                ("r_name", ColumnStats::with_ndv(5.0)),
+            ],
+        );
+        add(
+            "nation",
+            25.0,
+            vec![
+                ("n_nationkey", key(25.0)),
+                ("n_regionkey", key(5.0)),
+                ("n_name", ColumnStats::with_ndv(25.0)),
+            ],
+        );
+        add(
+            "supplier",
+            suppliers,
+            vec![
+                ("s_suppkey", key(suppliers)),
+                ("s_nationkey", key(25.0)),
+                (
+                    "s_acctbal",
+                    ColumnStats::with_ndv(suppliers).with_range(-999.99, 9_999.99),
+                ),
+            ],
+        );
+        add(
+            "customer",
+            customers,
+            vec![
+                ("c_custkey", key(customers)),
+                ("c_nationkey", key(25.0)),
+                ("c_mktsegment", ColumnStats::with_ndv(5.0)),
+                (
+                    "c_acctbal",
+                    ColumnStats::with_ndv(customers).with_range(-999.99, 9_999.99),
+                ),
+                ("c_phone", ColumnStats::with_ndv(customers)),
+            ],
+        );
+        add(
+            "part",
+            parts,
+            vec![
+                ("p_partkey", key(parts)),
+                ("p_brand", ColumnStats::with_ndv(25.0)),
+                ("p_type", ColumnStats::with_ndv(150.0)),
+                ("p_size", ColumnStats::with_ndv(50.0).with_range(1.0, 50.0)),
+                ("p_container", ColumnStats::with_ndv(40.0)),
+                (
+                    "p_retailprice",
+                    ColumnStats::with_ndv(parts).with_range(900.0, 2_100.0),
+                ),
+            ],
+        );
+        add(
+            "partsupp",
+            parts * 4.0,
+            vec![
+                ("ps_partkey", key(parts)),
+                ("ps_suppkey", key(suppliers)),
+                (
+                    "ps_availqty",
+                    ColumnStats::with_ndv(9_999.0).with_range(1.0, 9_999.0),
+                ),
+                (
+                    "ps_supplycost",
+                    ColumnStats::with_ndv(99_901.0).with_range(1.0, 1_000.0),
+                ),
+            ],
+        );
+        add(
+            "orders",
+            orders,
+            vec![
+                ("o_orderkey", key(orders)),
+                // Two thirds of customers have placed at least one order.
+                ("o_custkey", key(customers * 2.0 / 3.0)),
+                (
+                    "o_orderdate",
+                    ColumnStats::with_ndv(2_406.0).with_range(date_lo, date_hi - 151.0),
+                ),
+                ("o_orderpriority", ColumnStats::with_ndv(5.0)),
+                ("o_orderstatus", ColumnStats::with_ndv(3.0)),
+                (
+                    "o_totalprice",
+                    ColumnStats::with_ndv(orders).with_range(850.0, 555_285.0),
+                ),
+            ],
+        );
+        add(
+            "lineitem",
+            lineitem,
+            vec![
+                ("l_orderkey", key(orders)),
+                ("l_partkey", key(parts)),
+                ("l_suppkey", key(suppliers)),
+                (
+                    "l_linenumber",
+                    ColumnStats::with_ndv(7.0).with_range(1.0, 7.0),
+                ),
+                (
+                    "l_quantity",
+                    ColumnStats::with_ndv(50.0).with_range(1.0, 50.0),
+                ),
+                (
+                    "l_extendedprice",
+                    ColumnStats::with_ndv(lineitem).with_range(900.0, 104_950.0),
+                ),
+                (
+                    "l_discount",
+                    ColumnStats::with_ndv(11.0).with_range(0.0, 0.10),
+                ),
+                ("l_tax", ColumnStats::with_ndv(9.0).with_range(0.0, 0.08)),
+                ("l_returnflag", ColumnStats::with_ndv(3.0)),
+                ("l_linestatus", ColumnStats::with_ndv(2.0)),
+                (
+                    "l_shipdate",
+                    ColumnStats::with_ndv(2_526.0).with_range(date_lo, date_hi),
+                ),
+                (
+                    "l_commitdate",
+                    ColumnStats::with_ndv(2_466.0).with_range(date_lo, date_hi),
+                ),
+                (
+                    "l_receiptdate",
+                    ColumnStats::with_ndv(2_554.0).with_range(date_lo, date_hi),
+                ),
+                ("l_shipinstruct", ColumnStats::with_ndv(4.0)),
+                ("l_shipmode", ColumnStats::with_ndv(7.0)),
+            ],
+        );
+        c
+    }
+}
+
+// -- estimator math ---------------------------------------------------------
+
+/// Selectivity of `column = literal` under the uniform-values assumption:
+/// each distinct value captures an equal share of the non-NULL rows.
+pub fn eq_selectivity(col: &ColumnStats) -> f64 {
+    ((1.0 - col.null_fraction) / col.ndv.max(1.0)).clamp(1e-9, 1.0)
+}
+
+/// Selectivity of a range predicate `column <op> bound` from the column's
+/// numeric `[min, max]` interval (uniform-spread assumption). Falls back to
+/// `fallback` when the column has no numeric range.
+pub fn range_selectivity(col: &ColumnStats, op: CmpOp, bound: f64, fallback: f64) -> f64 {
+    let (Some(min), Some(max)) = (col.min, col.max) else {
+        return fallback;
+    };
+    if max <= min {
+        return fallback;
+    }
+    let width = max - min;
+    let frac_below = ((bound - min) / width).clamp(0.0, 1.0);
+    let not_null = 1.0 - col.null_fraction;
+    let sel = match op {
+        CmpOp::Lt | CmpOp::Le => frac_below,
+        CmpOp::Gt | CmpOp::Ge => 1.0 - frac_below,
+        CmpOp::Eq => return eq_selectivity(col),
+        CmpOp::Ne => return (1.0 - eq_selectivity(col)).max(0.0),
+    };
+    (sel * not_null).clamp(1e-9, 1.0)
+}
+
+/// Combined selectivity of a conjunction under the independence
+/// assumption, floored so deep predicate stacks never reach zero.
+pub fn conjunction_selectivity(sels: impl IntoIterator<Item = f64>) -> f64 {
+    sels.into_iter().product::<f64>().max(1e-6)
+}
+
+/// Per-pair join selectivity under the containment assumption: the smaller
+/// key domain is contained in the larger, so matches occur at rate
+/// `1 / max(ndv_left, ndv_right)` and `|L ⋈ R| = |L|·|R|·sel`.
+pub fn join_key_selectivity(left: &ColumnStats, right: &ColumnStats) -> f64 {
+    1.0 / left.ndv.max(right.ndv).max(1.0)
+}
+
+/// Estimated distinct-group count of a grouped aggregation: the capped
+/// product of the group columns' NDVs (`None` for any column without
+/// statistics — the caller falls back to its flat heuristic).
+pub fn group_count(ndvs: &[Option<f64>], input_rows: f64) -> Option<f64> {
+    let mut product = 1.0f64;
+    for ndv in ndvs {
+        product *= (*ndv)?;
+        if product >= input_rows {
+            // More combinations than rows: every row is its own group.
+            return Some(input_rows.max(1.0));
+        }
+    }
+    Some(product.clamp(1.0, input_rows.max(1.0)))
+}
+
+// -- runtime feedback -------------------------------------------------------
+
+/// Session-scoped cache of observed stage cardinalities, keyed by
+/// [`plan_fingerprint`]. Thread-safe; shared between the planner (lookups
+/// while planning) and the execution driver (records as stages finish).
+#[derive(Debug, Default)]
+pub struct FeedbackCache {
+    entries: Mutex<HashMap<u64, f64>>,
+}
+
+impl FeedbackCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the observed global row count of the plan fingerprinted as
+    /// `fp`. The latest observation wins (predicates on parameters may
+    /// shift cardinalities between runs; recent history is the best guess).
+    pub fn record(&self, fp: u64, rows: f64) {
+        self.entries.lock().insert(fp, rows.max(0.0));
+    }
+
+    /// The last observed cardinality of the plan fingerprinted as `fp`.
+    pub fn lookup(&self, fp: u64) -> Option<f64> {
+        self.entries.lock().get(&fp).copied()
+    }
+
+    /// Number of distinct plans with recorded observations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no observations have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Structural fingerprint of a logical plan, used as the [`FeedbackCache`]
+/// key. Hashes the plan's canonical debug rendering (which covers every
+/// operator, expression, and literal), so two structurally identical plans
+/// collide on purpose — parameters appear as `Param(i)` markers, keeping
+/// the fingerprint stable across executions that bind different values.
+pub fn plan_fingerprint(plan: &LogicalPlan) -> u64 {
+    struct FnvWriter(u64);
+    impl std::fmt::Write for FnvWriter {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.as_bytes() {
+                self.0 ^= u64::from(*b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    use std::fmt::Write as _;
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(w, "{plan:?}");
+    w.0
+}
+
+/// FNV-1a over a byte slice (the sampler's value hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsqp_storage::{Field, Schema};
+
+    fn int_table(values: Vec<i64>) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("v", DataType::Int64)]),
+            vec![Column::I64(values, None)],
+        )
+    }
+
+    #[test]
+    fn equality_selectivity_follows_ndv() {
+        let c = ColumnStats::with_ndv(100.0);
+        assert!((eq_selectivity(&c) - 0.01).abs() < 1e-12);
+        // NULLs shrink the matching fraction.
+        let mut n = ColumnStats::with_ndv(100.0);
+        n.null_fraction = 0.5;
+        assert!((eq_selectivity(&n) - 0.005).abs() < 1e-12);
+        // Degenerate NDV never divides by zero.
+        assert!(eq_selectivity(&ColumnStats::with_ndv(0.0)) <= 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates_the_interval() {
+        let c = ColumnStats::with_ndv(100.0).with_range(0.0, 100.0);
+        let lt = range_selectivity(&c, CmpOp::Lt, 25.0, 0.3);
+        assert!((lt - 0.25).abs() < 1e-12);
+        let gt = range_selectivity(&c, CmpOp::Gt, 25.0, 0.3);
+        assert!((gt - 0.75).abs() < 1e-12);
+        // Out-of-range bounds clamp instead of going negative.
+        assert!(range_selectivity(&c, CmpOp::Lt, -5.0, 0.3) <= 1e-9 + f64::EPSILON);
+        assert!((range_selectivity(&c, CmpOp::Gt, -5.0, 0.3) - 1.0).abs() < 1e-12);
+        // No numeric range: the flat fallback survives.
+        let s = ColumnStats::with_ndv(10.0);
+        assert_eq!(range_selectivity(&s, CmpOp::Lt, 1.0, 0.3), 0.3);
+    }
+
+    #[test]
+    fn conjunction_multiplies_independently() {
+        let sel = conjunction_selectivity([0.1, 0.5]);
+        assert!((sel - 0.05).abs() < 1e-12);
+        // Deep stacks are floored, not zeroed.
+        assert!(conjunction_selectivity(vec![1e-3; 10]) >= 1e-6);
+    }
+
+    #[test]
+    fn join_containment_uses_the_larger_domain() {
+        let fk = ColumnStats::with_ndv(1_000.0); // foreign key
+        let pk = ColumnStats::with_ndv(1_000.0); // primary key
+                                                 // FK ⋈ PK at equal domains: every probe row finds one match, so
+                                                 // |L⋈R| = |L|·|R|/ndv = |L| when |R| = ndv.
+        let sel = join_key_selectivity(&fk, &pk);
+        assert!((sel - 1e-3).abs() < 1e-15);
+        let narrow = ColumnStats::with_ndv(10.0);
+        assert!((join_key_selectivity(&narrow, &pk) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn group_count_caps_at_input_rows() {
+        assert_eq!(group_count(&[Some(4.0), Some(3.0)], 1e6), Some(12.0));
+        assert_eq!(group_count(&[Some(1e4), Some(1e4)], 1e6), Some(1e6));
+        assert_eq!(group_count(&[Some(4.0), None], 1e6), None);
+        assert_eq!(group_count(&[], 5.0), Some(1.0));
+    }
+
+    #[test]
+    fn sampling_measures_ndv_nulls_and_range() {
+        // 1000 rows cycling through 10 values: low-cardinality regime.
+        let t = int_table((0..1000).map(|i| i % 10).collect());
+        let s = TableStatistics::sample(&t);
+        assert_eq!(s.rows, 1000.0);
+        let c = &s.columns["v"];
+        assert_eq!(c.ndv, 10.0);
+        assert_eq!(c.min, Some(0.0));
+        assert_eq!(c.max, Some(9.0));
+        assert_eq!(c.null_fraction, 0.0);
+
+        // All-distinct: key-like regime, NDV tracks the row count.
+        let t = int_table((0..1000).collect());
+        let s = TableStatistics::sample(&t);
+        assert_eq!(s.columns["v"].ndv, 1000.0);
+    }
+
+    #[test]
+    fn declared_tpch_scales_with_sf() {
+        let c = StatsCatalog::declared_tpch(0.01);
+        assert_eq!(c.table("orders").unwrap().rows, 15_000.0);
+        assert_eq!(c.column("lineitem", "l_orderkey").unwrap().ndv, 15_000.0);
+        assert_eq!(c.column_anywhere("l_quantity").unwrap().ndv, 50.0);
+        assert!(c.column_anywhere("no_such_column").is_none());
+    }
+
+    #[test]
+    fn feedback_cache_round_trips_and_overwrites() {
+        let plan = LogicalPlan::scan(TpchTable::Nation);
+        let fp = plan_fingerprint(&plan);
+        assert_eq!(fp, plan_fingerprint(&LogicalPlan::scan(TpchTable::Nation)));
+        assert_ne!(fp, plan_fingerprint(&LogicalPlan::scan(TpchTable::Region)));
+
+        let cache = FeedbackCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(fp), None);
+        cache.record(fp, 42.0);
+        assert_eq!(cache.lookup(fp), Some(42.0));
+        cache.record(fp, 7.0);
+        assert_eq!(cache.lookup(fp), Some(7.0), "latest observation wins");
+        assert_eq!(cache.len(), 1);
+    }
+}

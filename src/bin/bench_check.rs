@@ -17,9 +17,18 @@
 //! clear the gate, while a real regression slows every run and still trips
 //! it. Row counts must agree across all runs.
 //!
+//! With one or more `--baseline` flags instead of a positional baseline,
+//! every positional file is a current run and the gate compares against
+//! whichever offered baseline matches the runs' `(sf, nodes)` header —
+//! so CI can offer every committed baseline and each bench leg is gated
+//! by the one recorded at its own configuration. Runs that match no
+//! offered baseline pass with a note (there is nothing to gate them on).
+//!
 //! ```bash
 //! bench_check BENCH_tpch_sf001.json run1.json run2.json run3.json \
 //!     --latency fail --threshold 1.5
+//! bench_check --baseline BENCH_tpch_sf001.json --baseline BENCH_tpch_sf01.json \
+//!     run.json --latency warn
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +40,7 @@ bench_check — compare a bench run against a committed baseline
 
 USAGE:
     bench_check <BASELINE.json> <CURRENT.json>... [OPTIONS]
+    bench_check --baseline <B.json>... <CURRENT.json>... [OPTIONS]
 
 Passing several CURRENT files gates each query on its best (minimum)
 time across the runs — contention noise on shared runners is one-sided,
@@ -38,6 +48,10 @@ so min-of-N filters it out while real regressions, which slow every
 run, still trip the gate. Row counts must agree across all runs.
 
 OPTIONS:
+    --baseline <PATH>      Offer a baseline (repeatable). The runs are
+                           gated against the offered baseline whose
+                           (sf, nodes) header matches theirs; runs that
+                           match none pass with a note
     --latency <warn|fail>  What a per-query latency regression does
                            (default warn: report but exit 0; row-count
                            drift always fails)
@@ -60,7 +74,15 @@ struct Entry {
     ms: f64,
 }
 
-fn load(path: &str) -> Result<Vec<Entry>, String> {
+/// The configuration a bench file was recorded at, used to pair runs with
+/// the baseline that matches them in `--baseline` mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BenchConfig {
+    sf: f64,
+    nodes: u64,
+}
+
+fn load(path: &str) -> Result<(Vec<Entry>, Option<BenchConfig>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -68,6 +90,16 @@ fn load(path: &str) -> Result<Vec<Entry>, String> {
         Some(other) => return Err(format!("{path}: unsupported schema {other:?}")),
         None => return Err(format!("{path}: missing \"schema\" field")),
     }
+    let config = match (
+        doc.get("sf").and_then(Json::as_f64),
+        doc.get("nodes").and_then(Json::as_f64),
+    ) {
+        (Some(sf), Some(nodes)) => Some(BenchConfig {
+            sf,
+            nodes: nodes as u64,
+        }),
+        _ => None,
+    };
     let queries = doc
         .get("queries")
         .and_then(Json::as_arr)
@@ -85,12 +117,13 @@ fn load(path: &str) -> Result<Vec<Entry>, String> {
             ms: field("ms")?,
         });
     }
-    Ok(entries)
+    Ok((entries, config))
 }
 
 fn run() -> Result<bool, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
+    let mut offered: Vec<&str> = Vec::new();
     let mut latency_fails = false;
     let mut threshold = 1.25f64;
     let mut min_ms = 0.0f64;
@@ -100,6 +133,13 @@ fn run() -> Result<bool, String> {
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(true);
+            }
+            "--baseline" => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--baseline requires a path".to_string())?;
+                offered.push(value);
+                i += 2;
             }
             "--latency" => {
                 let value = argv
@@ -145,23 +185,40 @@ fn run() -> Result<bool, String> {
             }
         }
     }
-    let [baseline_path, current_paths @ ..] = &paths[..] else {
-        return Err(format!(
-            "expected at least two file arguments, got 0\n{USAGE}"
-        ));
+    let (explicit_baseline, current_paths): (Option<&str>, &[&str]) = if offered.is_empty() {
+        let [baseline_path, current_paths @ ..] = &paths[..] else {
+            return Err(format!(
+                "expected at least two file arguments, got 0\n{USAGE}"
+            ));
+        };
+        if current_paths.is_empty() {
+            return Err(format!(
+                "expected at least two file arguments, got 1\n{USAGE}"
+            ));
+        }
+        (Some(*baseline_path), current_paths)
+    } else {
+        if paths.is_empty() {
+            return Err(format!(
+                "--baseline mode expects at least one current run\n{USAGE}"
+            ));
+        }
+        (None, &paths[..])
     };
-    if current_paths.is_empty() {
-        return Err(format!(
-            "expected at least two file arguments, got 1\n{USAGE}"
-        ));
-    }
 
-    let baseline = load(baseline_path)?;
-    let mut current = load(current_paths[0])?;
+    let (mut current, current_cfg) = load(current_paths[0])?;
     // Best-of-N: keep each query's minimum time across runs (contention is
     // one-sided noise), but refuse any cross-run row-count disagreement.
     for path in &current_paths[1..] {
-        for extra in load(path)? {
+        let (entries, cfg) = load(path)?;
+        if explicit_baseline.is_none() && cfg != current_cfg {
+            return Err(format!(
+                "{path}: (sf, nodes) header disagrees with {} — runs gated \
+                 together must share one configuration",
+                current_paths[0]
+            ));
+        }
+        for extra in entries {
             match current.iter_mut().find(|c| c.query == extra.query) {
                 Some(c) => {
                     if c.rows != extra.rows {
@@ -176,6 +233,47 @@ fn run() -> Result<bool, String> {
             }
         }
     }
+
+    // --baseline mode: gate against whichever offered baseline was
+    // recorded at the runs' own (sf, nodes) configuration.
+    let baseline_path = match explicit_baseline {
+        Some(path) => path,
+        None => {
+            let cfg = current_cfg.ok_or_else(|| {
+                format!(
+                    "{}: carries no (sf, nodes) header to match --baseline against",
+                    current_paths[0]
+                )
+            })?;
+            let mut matching = Vec::new();
+            for path in &offered {
+                if load(path)?.1 == Some(cfg) {
+                    matching.push(*path);
+                }
+            }
+            match matching[..] {
+                [path] => path,
+                [] => {
+                    eprintln!(
+                        "bench_check: no offered baseline matches SF {} x {} nodes; \
+                         nothing to gate this run against",
+                        cfg.sf, cfg.nodes
+                    );
+                    return Ok(true);
+                }
+                _ => {
+                    return Err(format!(
+                        "multiple offered baselines match SF {} x {} nodes: {}",
+                        cfg.sf,
+                        cfg.nodes,
+                        matching.join(", ")
+                    ))
+                }
+            }
+        }
+    };
+    let (baseline, _) = load(baseline_path)?;
+    eprintln!("bench_check: gating against {baseline_path}");
 
     let mut row_failures = 0u32;
     let mut regressions = 0u32;

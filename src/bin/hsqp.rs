@@ -32,14 +32,16 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hsqp::engine::cluster::{Cluster, ClusterConfig, EngineKind, ExprEngine, Transport};
+use hsqp::engine::logical::LogicalQuery;
 use hsqp::engine::planner::{Planner, PlannerConfig, TableStats};
 use hsqp::engine::queries::{tpch_logical, tpch_query, Query, StageRole, ALL_QUERIES};
 use hsqp::engine::remote::{ProcessCluster, ProcessClusterConfig, RemoteEngineConfig};
 use hsqp::engine::serve::{parse_tenant_spec, ArrivalProcess, SubmitOptions, TenantConfig};
+use hsqp::engine::stats::{FeedbackCache, StatsCatalog, StatsMode};
 use hsqp::engine::vm::compile_stage;
 use hsqp::engine::EngineError;
 use hsqp::engine::{chrome_trace, QueryProfile, QueryResult};
@@ -61,6 +63,18 @@ OPTIONS:
     --plan-mode <M>        handwritten | builder (default handwritten);
                            builder plans queries through the logical-query
                            builder and distributed planner
+    --stats <M>            off | static | feedback (default static); how
+                           builder-mode planning sources estimates. off
+                           reverts to the legacy flat heuristics; static
+                           prices broadcast/repartition, pre-aggregation,
+                           and CTE placement against the statistics
+                           catalog; feedback additionally plans each stage
+                           of a multi-stage query only after the previous
+                           stage ran, correcting estimates with observed
+                           cardinalities (remembered across queries in a
+                           process-wide feedback cache). feedback requires
+                           --plan-mode builder; handwritten plans are
+                           fixed trees the flag cannot affect
     --explain              Print each stage's lowered physical plan
                            (exchange placement, broadcast vs repartition)
                            and, under the vm expression engine, the
@@ -157,6 +171,7 @@ struct Args {
     cluster: Option<Vec<String>>,
     queries: Option<Vec<u32>>,
     plan_mode: PlanMode,
+    stats: StatsMode,
     explain: bool,
     transport: String,
     engine: String,
@@ -186,6 +201,7 @@ fn parse_args() -> Result<Args, String> {
         cluster: None,
         queries: None,
         plan_mode: PlanMode::Handwritten,
+        stats: StatsMode::Static,
         explain: false,
         transport: "rdma".to_string(),
         engine: "hybrid".to_string(),
@@ -289,6 +305,11 @@ fn parse_args() -> Result<Args, String> {
                         ))
                     }
                 };
+            }
+            "--stats" => {
+                args.stats = StatsMode::parse(value).ok_or_else(|| {
+                    format!("unknown stats mode {value:?} (expected off | static | feedback)")
+                })?;
             }
             "--transport" => {
                 args.transport = value.clone();
@@ -447,7 +468,7 @@ fn base_schema(t: TpchTable) -> Option<Schema> {
 /// compiled program disassembly per stage. Built as a single buffer so
 /// callers write it with one syscall-ish print and nothing can interleave
 /// into the middle of a block.
-fn render_query_plan(args: &Args, n: u32, query: &Query) -> String {
+fn render_query_plan(args: &Args, n: u32, query: &Query, notes: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -468,13 +489,23 @@ fn render_query_plan(args: &Args, n: u32, query: &Query) -> String {
             StageRole::Materialize(name) => format!(" materialize {name:?}"),
             StageRole::Result => " result".to_string(),
         };
-        // Builder-mode stages carry the planner's cardinality estimate;
-        // a profiled run (--analyze) prints the actuals next to it.
-        let est = match stage.estimated_rows {
-            Some(e) => format!("  [est ~{e:.0} rows]"),
-            None => String::new(),
+        // Builder-mode stages carry the planner's cardinality estimate
+        // (and, in feedback mode, the observed cardinality that overrode
+        // it); a profiled run (--analyze) prints the actuals next to it.
+        let est = match (stage.estimated_rows, stage.feedback_rows) {
+            (Some(e), Some(fb)) => format!("  [est ~{e:.0} rows · fb {fb:.0} rows]"),
+            (Some(e), None) => format!("  [est ~{e:.0} rows]"),
+            (None, _) => String::new(),
         };
         let _ = writeln!(out, "-- stage {}/{total}:{role}{est}", i + 1);
+        // Cost-model decisions the planner made while lowering this stage
+        // (broadcast vs repartition, pre-aggregation vs raw reshuffle,
+        // CTE placement), with both priced alternatives.
+        if let Some(stage_notes) = notes.get(i) {
+            for note in stage_notes {
+                let _ = writeln!(out, "   decision: {note}");
+            }
+        }
         match args.expr_engine {
             ExprEngine::Compiled => {
                 let (compiled, schema) = compile_stage(&stage.plan, &&base_schema, &temps);
@@ -514,22 +545,28 @@ fn explain(args: &Args, queries: &[u32]) -> Result<(), String> {
             );
             Some(Planner::new(PlannerConfig {
                 stats: TableStats::for_scale_factor(args.sf),
+                mode: args.stats,
+                catalog: (args.stats != StatsMode::Off)
+                    .then(|| Arc::new(StatsCatalog::declared_tpch(args.sf))),
                 ..PlannerConfig::new(args.nodes)
             }))
         }
     };
     let mut out = String::new();
     for &n in queries {
-        let query: Query = match &planner {
-            None => tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+        let (query, notes): (Query, Vec<Vec<String>>) = match &planner {
+            None => (
+                tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+                vec![],
+            ),
             Some(planner) => {
                 let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
                 planner
-                    .plan_query(&logical)
+                    .plan_query_explained(&logical)
                     .map_err(|e| format!("query {n}: {e}"))?
             }
         };
-        out.push_str(&render_query_plan(args, n, &query));
+        out.push_str(&render_query_plan(args, n, &query, &notes));
     }
     // One writer for the whole report: nothing else prints to stdout in
     // this mode, and stderr diagnostics cannot split a plan in half.
@@ -565,6 +602,17 @@ struct Observation {
     bytes_shuffled: u64,
 }
 
+/// A query ready to execute: a fixed physical plan (with the cost-model
+/// decision notes recorded while planning it), or — in feedback mode — a
+/// logical query the backend re-plans stage-at-a-time on every execution.
+enum Planned {
+    Physical {
+        query: Query,
+        notes: Vec<Vec<String>>,
+    },
+    Adaptive(LogicalQuery),
+}
+
 /// Where queries execute: the in-process simulated cluster, or a set of
 /// out-of-process `hsqp-node` servers reached over real TCP sockets.
 enum Backend {
@@ -573,34 +621,65 @@ enum Backend {
 }
 
 impl Backend {
-    /// Run one multi-stage query to completion. Both variants are safe to
-    /// call from many client threads at once (the local path is
-    /// submit + wait through the concurrent dispatcher).
-    fn run(&self, query: &Query) -> Result<QueryResult, EngineError> {
-        match self {
-            Backend::Local(cluster) => cluster.run(query),
-            Backend::Remote(pc) => pc.run(query),
+    /// Run one planned query to completion, planning stage-at-a-time when
+    /// it is adaptive. Both variants are safe to call from many client
+    /// threads at once (the local path is submit + wait through the
+    /// concurrent dispatcher; adaptive runs build a fresh per-execution
+    /// [`QueryPlanner`](hsqp::engine::planner::QueryPlanner) sharing the
+    /// process-wide feedback cache).
+    fn run_planned(
+        &self,
+        planner: &Planner,
+        n: u32,
+        planned: &Planned,
+        opts: &SubmitOptions,
+    ) -> Result<QueryResult, EngineError> {
+        match planned {
+            Planned::Physical { query, .. } => match self {
+                Backend::Local(cluster) => cluster.submit_with(query, opts)?.wait(),
+                Backend::Remote(pc) => pc.run_with(query, opts),
+            },
+            Planned::Adaptive(logical) => {
+                let qp = planner.begin_query(logical)?;
+                match self {
+                    Backend::Local(cluster) => cluster.submit_adaptive(qp, n, opts)?.wait(),
+                    Backend::Remote(pc) => pc.run_adaptive(qp, opts),
+                }
+            }
         }
     }
 
     /// Build the distributed planner from the backend's exact loaded row
-    /// counts (remote nodes report theirs at load time).
-    fn planner(&self, sf: f64) -> Planner {
-        match self {
+    /// counts (remote nodes report theirs at load time), running in the
+    /// requested stats mode with the process-wide feedback cache attached.
+    fn planner(&self, args: &Args, feedback: &Arc<FeedbackCache>) -> Planner {
+        let mut planner = match self {
             Backend::Local(cluster) => Planner::for_cluster(cluster),
             Backend::Remote(pc) => {
-                let mut stats = TableStats::for_scale_factor(sf);
+                let mut stats = TableStats::for_scale_factor(args.sf);
                 for t in TpchTable::ALL {
                     if let Some(rows) = pc.table_rows(t) {
                         stats.set_rows(t, rows as f64);
                     }
                 }
+                // The coordinator holds none of the data, so nothing can
+                // be sampled here; plan against the spec-declared column
+                // statistics at this scale factor instead.
                 Planner::new(PlannerConfig {
                     stats,
+                    catalog: Some(Arc::new(StatsCatalog::declared_tpch(args.sf))),
                     ..PlannerConfig::new(pc.nodes())
                 })
             }
+        };
+        let cfg = planner.config_mut();
+        cfg.mode = args.stats;
+        if args.stats == StatsMode::Off {
+            cfg.catalog = None;
+            cfg.partitioned = false;
         }
+        cfg.feedback = Some(Arc::clone(feedback));
+        planner
     }
 
     /// Render the backend's post-run metrics for `--metrics`.
@@ -712,26 +791,35 @@ fn start_remote_cluster(
     })
 }
 
-/// Build the physical plan for each requested query once, in the selected
-/// plan mode.
+/// Build each requested query once, in the selected plan mode: a fixed
+/// physical plan, or the logical query itself when feedback-mode
+/// execution will re-plan it stage-at-a-time.
 fn plan_queries(
     args: &Args,
     planner: &Planner,
     queries: &[u32],
-) -> Result<Vec<(u32, Query)>, String> {
+) -> Result<Vec<(u32, Planned)>, String> {
     queries
         .iter()
         .map(|&n| {
-            let query = match args.plan_mode {
-                PlanMode::Handwritten => tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+            let planned = match args.plan_mode {
+                PlanMode::Handwritten => Planned::Physical {
+                    query: tpch_query(n).map_err(|e| format!("query {n}: {e}"))?,
+                    notes: Vec::new(),
+                },
                 PlanMode::Builder => {
                     let logical = tpch_logical(n).map_err(|e| format!("query {n}: {e}"))?;
-                    planner
-                        .plan_query(&logical)
-                        .map_err(|e| format!("query {n}: {e}"))?
+                    if args.stats == StatsMode::Feedback {
+                        Planned::Adaptive(logical)
+                    } else {
+                        let (query, notes) = planner
+                            .plan_query_explained(&logical)
+                            .map_err(|e| format!("query {n}: {e}"))?;
+                        Planned::Physical { query, notes }
+                    }
                 }
             };
-            Ok((n, query))
+            Ok((n, planned))
         })
         .collect()
 }
@@ -778,8 +866,10 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
 
     // Plan every query once up front: all clients submit identical
     // physical plans, so row-count differences can only come from the
-    // concurrent execution path.
-    let planner = backend.planner(args.sf);
+    // concurrent execution path. (In feedback mode each execution
+    // re-plans adaptively against the shared cache instead.)
+    let feedback = Arc::new(FeedbackCache::new());
+    let planner = backend.planner(args, &feedback);
     let plans = plan_queries(args, &planner, queries)?;
 
     let wall_started = Instant::now();
@@ -787,13 +877,15 @@ fn run_throughput(args: &Args, queries: &[u32]) -> Result<(), String> {
         let handles: Vec<_> = (0..args.clients)
             .map(|_| {
                 let plans = &plans;
+                let planner = &planner;
                 scope.spawn(move || {
                     let mut obs = Vec::new();
                     let mut errors = Vec::new();
                     for _ in 0..args.rounds {
                         for (n, query) in plans {
                             let started = Instant::now();
-                            match backend.run(query) {
+                            match backend.run_planned(planner, *n, query, &SubmitOptions::default())
+                            {
                                 Ok(result) => obs.push(Observation {
                                     query: *n,
                                     ms: started.elapsed().as_secs_f64() * 1e3,
@@ -980,7 +1072,8 @@ struct ArrivalRecord {
 fn open_loop_local(
     args: &Args,
     cluster: &Cluster,
-    plans: &[(u32, Query)],
+    planner: &Planner,
+    plans: &[(u32, Planned)],
     tenants: &[(String, TenantConfig)],
     offsets: &[Duration],
     window: Duration,
@@ -999,7 +1092,13 @@ fn open_loop_local(
         if let Some(ms) = args.deadline_ms {
             opts = opts.with_deadline(Duration::from_millis(ms));
         }
-        match cluster.submit_with(query, &opts) {
+        let submitted = match query {
+            Planned::Physical { query, .. } => cluster.submit_with(query, &opts),
+            Planned::Adaptive(logical) => planner
+                .begin_query(logical)
+                .and_then(|qp| cluster.submit_adaptive(qp, *qn, &opts)),
+        };
+        match submitted {
             Ok(handle) => pending.push((t, *qn, handle)),
             Err(EngineError::Admission(_)) => records.push(ArrivalRecord {
                 tenant: t,
@@ -1054,7 +1153,8 @@ fn open_loop_local(
 fn open_loop_remote(
     args: &Args,
     pc: &ProcessCluster,
-    plans: &[(u32, Query)],
+    planner: &Planner,
+    plans: &[(u32, Planned)],
     tenants: &[(String, TenantConfig)],
     offsets: &[Duration],
     window: Duration,
@@ -1085,7 +1185,13 @@ fn open_loop_remote(
                     if let Some(ms) = args.deadline_ms {
                         opts = opts.with_deadline(Duration::from_millis(ms));
                     }
-                    match pc.run_with(query, &opts) {
+                    let result = match query {
+                        Planned::Physical { query, .. } => pc.run_with(query, &opts),
+                        Planned::Adaptive(logical) => planner
+                            .begin_query(logical)
+                            .and_then(|qp| pc.run_adaptive(qp, &opts)),
+                    };
+                    match result {
                         Ok(r) => ArrivalOutcome::Completed {
                             latency_ms: due.elapsed().as_secs_f64() * 1e3,
                             queue_wait_ms: picked_up.duration_since(due).as_secs_f64() * 1e3,
@@ -1146,7 +1252,8 @@ fn run_open_loop(args: &Args, queries: &[u32], rate: f64) -> Result<(), String> 
         ),
     )?;
     let backend = &bench.backend;
-    let planner = backend.planner(args.sf);
+    let feedback = Arc::new(FeedbackCache::new());
+    let planner = backend.planner(args, &feedback);
     let plans = plan_queries(args, &planner, queries)?;
 
     eprintln!(
@@ -1163,9 +1270,11 @@ fn run_open_loop(args: &Args, queries: &[u32], rate: f64) -> Result<(), String> 
 
     let records = match backend {
         Backend::Local(cluster) => {
-            open_loop_local(args, cluster, &plans, &tenants, &offsets, window)
+            open_loop_local(args, cluster, &planner, &plans, &tenants, &offsets, window)
         }
-        Backend::Remote(pc) => open_loop_remote(args, pc, &plans, &tenants, &offsets, window),
+        Backend::Remote(pc) => {
+            open_loop_remote(args, pc, &planner, &plans, &tenants, &offsets, window)
+        }
     };
     if args.metrics {
         eprint!("{}", backend.metrics_render());
@@ -1339,6 +1448,14 @@ fn run() -> Result<(), String> {
         cluster_config(&args)?;
     }
 
+    if args.stats == StatsMode::Feedback && args.plan_mode == PlanMode::Handwritten {
+        return Err(
+            "--stats feedback re-plans queries from observed cardinalities, \
+             which needs --plan-mode builder (handwritten plans are fixed trees)"
+                .into(),
+        );
+    }
+
     let queries: Vec<u32> = match &args.queries {
         Some(list) => list.clone(),
         None => ALL_QUERIES.to_vec(),
@@ -1379,7 +1496,8 @@ fn run() -> Result<(), String> {
     let bench = start_loaded_backend(&args, "")?;
     let backend = &bench.backend;
 
-    let planner = backend.planner(args.sf);
+    let feedback = Arc::new(FeedbackCache::new());
+    let planner = backend.planner(&args, &feedback);
     let plans = plan_queries(&args, &planner, &queries)?;
     let mut lines = Vec::new();
     let mut bench_lines = Vec::new();
@@ -1389,7 +1507,8 @@ fn run() -> Result<(), String> {
     let mut failures = 0u32;
     for (n, query) in &plans {
         let n = *n;
-        let result: Result<QueryResult, _> = backend.run(query);
+        let result: Result<QueryResult, _> =
+            backend.run_planned(&planner, n, query, &SubmitOptions::default());
         match result {
             Ok(result) => {
                 let ms = result.elapsed.as_secs_f64() * 1e3;
@@ -1425,7 +1544,27 @@ fn run() -> Result<(), String> {
                         // never interleave into the middle of either.
                         let mut block = String::new();
                         if args.explain {
-                            block.push_str(&render_query_plan(&args, n, query));
+                            match query {
+                                Planned::Physical { query, notes } => {
+                                    block.push_str(&render_query_plan(&args, n, query, notes));
+                                }
+                                // Re-planned after the run, so the printed
+                                // estimates include the feedback
+                                // corrections this execution just recorded.
+                                Planned::Adaptive(logical) => {
+                                    match planner.plan_query_explained(logical) {
+                                        Ok((q, notes)) => {
+                                            block.push_str(&render_query_plan(&args, n, &q, &notes))
+                                        }
+                                        Err(e) => {
+                                            let _ = writeln!(
+                                                block,
+                                                "== Q{n}: replan for explain failed: {e}"
+                                            );
+                                        }
+                                    }
+                                }
+                            }
                         }
                         block.push_str(&profile.render());
                         eprint!("{block}");

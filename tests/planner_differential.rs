@@ -78,6 +78,58 @@ fn builder_matches_handwritten_on_4_nodes() {
     builder_matches_handwritten_on(4);
 }
 
+/// Feedback-driven re-planning may change *plans*, never *answers*: all 22
+/// queries must return identical tables in `--stats feedback` and
+/// `--stats static`, both on the first (cold-cache) submission and on the
+/// second, where corrected estimates are in force.
+fn feedback_matches_static_on(nodes: u16) {
+    use hsqp::engine::session::Session;
+    use hsqp::engine::stats::StatsMode;
+    let session = |mode: StatsMode| {
+        Session::builder()
+            .nodes(nodes)
+            .tpch(SF)
+            .stats_mode(mode)
+            .build()
+            .unwrap()
+    };
+    let stat = session(StatsMode::Static);
+    let fb = session(StatsMode::Feedback);
+    for n in ALL_QUERIES {
+        let logical = tpch_logical(n).unwrap();
+        let oracle = stat
+            .run(&logical)
+            .unwrap_or_else(|e| panic!("static Q{n} failed: {e}"))
+            .table;
+        let cold = fb
+            .run(&logical)
+            .unwrap_or_else(|e| panic!("feedback Q{n} (cold) failed: {e}"))
+            .table;
+        assert_tables_equal(&oracle, &cold, &format!("Q{n} cold ({nodes} nodes)"));
+        let warm = fb
+            .run(&logical)
+            .unwrap_or_else(|e| panic!("feedback Q{n} (warm) failed: {e}"))
+            .table;
+        assert_tables_equal(&oracle, &warm, &format!("Q{n} warm ({nodes} nodes)"));
+    }
+    assert!(
+        !fb.feedback_cache().is_empty(),
+        "feedback session recorded no observations"
+    );
+    stat.shutdown();
+    fb.shutdown();
+}
+
+#[test]
+fn feedback_matches_static_on_2_nodes() {
+    feedback_matches_static_on(2);
+}
+
+#[test]
+fn feedback_matches_static_on_4_nodes() {
+    feedback_matches_static_on(4);
+}
+
 /// Regression: a fixed-point Decimal key equi-joined against a Float64 key
 /// (e.g. an aggregate output) must match by value, in the hash join *and*
 /// in the partition hashing a forced repartition exercises. Before join
@@ -247,12 +299,27 @@ proptest! {
         lp in arb_logical(),
         nodes in 1u16..6,
     ) {
-        let planner = Planner::new(PlannerConfig::new(nodes));
-        let plan = planner.plan(&lp);
-        prop_assert!(plan.is_ok(), "valid logical plan rejected: {:?}", plan.err());
-        // The lowered plan must end complete on the coordinator: its root
-        // is a gather, a sort above one, or a coordinator-only aggregate.
-        prop_assert!(plan.unwrap().exchange_count() >= 1);
+        use hsqp::engine::stats::{StatsCatalog, StatsMode};
+        // Every stats mode must lower every valid plan: cost-based pruning
+        // may pick different exchanges, never reject or panic.
+        for mode in [StatsMode::Off, StatsMode::Static, StatsMode::Feedback] {
+            let mut cfg = PlannerConfig::new(nodes);
+            cfg.mode = mode;
+            if mode != StatsMode::Off {
+                cfg.catalog = Some(std::sync::Arc::new(StatsCatalog::declared_tpch(0.01)));
+            }
+            let plan = Planner::new(cfg).plan(&lp);
+            prop_assert!(
+                plan.is_ok(),
+                "valid logical plan rejected under {:?}: {:?}",
+                mode,
+                plan.err()
+            );
+            // The lowered plan must end complete on the coordinator: its
+            // root is a gather, a sort above one, or a coordinator-only
+            // aggregate.
+            prop_assert!(plan.unwrap().exchange_count() >= 1);
+        }
     }
 }
 
@@ -327,7 +394,9 @@ fn invalid_multi_stage_queries_are_rejected() {
         Err(EngineError::Planner(_))
     ));
 
-    // CTEs may not reference stage parameters.
+    // A CTE may reference stage parameters only when an earlier stage
+    // binds them; here the sole (result) stage would have to, so the
+    // materialization could never run.
     let cte_param = LogicalQuery::cte(
         "v",
         LogicalPlan::scan(TpchTable::Lineitem).filter(col("l_quantity").ge(param(0))),
@@ -422,6 +491,63 @@ fn multi_stage_query_executes_end_to_end() {
     );
     let physical = planner.plan_query(&staged).unwrap();
     assert_eq!(physical.stages.len(), 3);
+    let r = cluster.run(&physical).unwrap();
+    assert_eq!(r.table.value(0, 0).as_i64(), oracle);
+    cluster.shutdown();
+}
+
+/// A CTE whose subplan consumes an earlier stage's scalar parameter: its
+/// materialization is deferred past the binding stage, and the staged
+/// result must match the equivalent inline computation.
+#[test]
+fn param_dependent_cte_executes_end_to_end() {
+    let cluster = Cluster::start(ClusterConfig::quick(2)).unwrap();
+    cluster.load_tpch_db(TpchDb::generate(0.002)).unwrap();
+    let planner = Planner::for_cluster(&cluster);
+
+    // Oracle: max supplier key, then lineitem rows for suppliers under
+    // half of it, computed inline.
+    let max_supp = {
+        let plan = LogicalPlan::scan(TpchTable::Supplier)
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Max, col("s_suppkey"), "m")]);
+        let r = cluster
+            .run(&planner.plan_query(&(&plan).into()).unwrap())
+            .unwrap();
+        r.table.value(0, 0).as_i64()
+    };
+    let oracle = {
+        let plan = LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_suppkey").mul(lit(2)).le(lit(max_supp)))
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]);
+        let r = cluster
+            .run(&planner.plan_query(&(&plan).into()).unwrap())
+            .unwrap();
+        r.table.value(0, 0).as_i64()
+    };
+
+    // Staged: stage 1 binds param(0) = max(s_suppkey); the CTE filters
+    // lineitem against it, so it can only materialize after that stage.
+    let staged = LogicalQuery::stage(LogicalPlan::scan(TpchTable::Supplier).aggregate(
+        &[],
+        vec![AggSpec::new(AggFunc::Max, col("s_suppkey"), "max_supp")],
+    ))
+    .with(
+        "cheap_lines",
+        LogicalPlan::scan(TpchTable::Lineitem)
+            .filter(col("l_suppkey").mul(lit(2)).le(param(0)))
+            .project(&["l_suppkey"]),
+    )
+    .then(
+        LogicalPlan::from_cte("cheap_lines")
+            .aggregate(&[], vec![AggSpec::new(AggFunc::Count, lit(1), "cnt")]),
+    );
+    let physical = planner.plan_query(&staged).unwrap();
+    assert_eq!(physical.stages.len(), 3);
+    assert_eq!(
+        physical.stages[0].role.label(),
+        "params",
+        "the binding stage must precede the dependent materialization"
+    );
     let r = cluster.run(&physical).unwrap();
     assert_eq!(r.table.value(0, 0).as_i64(), oracle);
     cluster.shutdown();
